@@ -1,0 +1,99 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * the early-termination cutoff (the paper's Dlib modification),
+//! * time-step prediction reuse (Algorithm 1's `p`),
+//! * the number of overlapping regions (the paper's default of 12),
+//! * linear vs logarithmic region layout (this reproduction's refinement).
+//!
+//! Each variant runs the same fixed-ratio task; the measured time difference
+//! is the cost/benefit of the design choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fraz_bench::scale::Scale;
+use fraz_bench::workloads;
+use fraz_core::{BoundScale, FixedRatioSearch, Orchestrator, OrchestratorConfig, SearchConfig};
+use fraz_pressio::registry;
+
+fn base_config() -> SearchConfig {
+    SearchConfig {
+        measure_final_quality: false,
+        max_iterations: 12,
+        ..SearchConfig::new(10.0, 0.1).with_regions(4).with_threads(4)
+    }
+}
+
+fn ablation_benchmarks(c: &mut Criterion) {
+    let app = workloads::hurricane(Scale::Quick);
+    let dataset = app.field("TCf", 0);
+
+    // 1. Early-termination cutoff on/off.
+    let mut group = c.benchmark_group("ablation_cutoff");
+    group.sample_size(10);
+    for (label, use_cutoff) in [("with_cutoff", true), ("without_cutoff", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let config = SearchConfig {
+                    use_cutoff,
+                    ..base_config()
+                };
+                FixedRatioSearch::new(registry::compressor("sz").unwrap(), config).run(&dataset)
+            });
+        });
+    }
+    group.finish();
+
+    // 2. Prediction reuse across a short time series.
+    let series: Vec<_> = app.series("TCf").into_iter().take(3).collect();
+    let mut group = c.benchmark_group("ablation_prediction_reuse");
+    group.sample_size(10);
+    for (label, reuse) in [("reuse", true), ("retrain_every_step", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let orch = Orchestrator::new(
+                    "sz",
+                    OrchestratorConfig {
+                        total_workers: 4,
+                        reuse_prediction: reuse,
+                        ..OrchestratorConfig::new(base_config())
+                    },
+                )
+                .unwrap();
+                orch.run_series("TCf", &series, 4)
+            });
+        });
+    }
+    group.finish();
+
+    // 3. Number of overlapping regions.
+    let mut group = c.benchmark_group("ablation_regions");
+    group.sample_size(10);
+    for regions in [1usize, 4, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(regions), &regions, |b, &r| {
+            b.iter(|| {
+                let config = base_config().with_regions(r).with_threads(r);
+                FixedRatioSearch::new(registry::compressor("sz").unwrap(), config).run(&dataset)
+            });
+        });
+    }
+    group.finish();
+
+    // 4. Linear vs logarithmic region layout.
+    let mut group = c.benchmark_group("ablation_bound_scale");
+    group.sample_size(10);
+    for (label, scale) in [("log", BoundScale::Log), ("linear", BoundScale::Linear)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let config = SearchConfig {
+                    scale,
+                    ..base_config()
+                };
+                FixedRatioSearch::new(registry::compressor("sz").unwrap(), config).run(&dataset)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_benchmarks);
+criterion_main!(benches);

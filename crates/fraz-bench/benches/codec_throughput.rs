@@ -1,0 +1,58 @@
+//! Criterion benchmarks: raw compression / decompression throughput of the
+//! three codec substrates at a fixed value-range-relative error bound.
+//!
+//! These are the building-block costs behind every FRaZ search (each search
+//! iteration is one compression), so regressions here inflate every figure's
+//! runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use fraz_bench::scale::Scale;
+use fraz_bench::workloads;
+use fraz_pressio::registry;
+
+fn codec_benchmarks(c: &mut Criterion) {
+    let app = workloads::hurricane(Scale::Quick);
+    let dataset = app.field("TCf", 0);
+    let bound = dataset.stats().value_range() * 1e-3;
+
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Bytes(dataset.byte_size() as u64));
+    group.sample_size(10);
+    for name in ["sz", "zfp", "mgard"] {
+        let backend = registry::compressor(name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &dataset, |b, d| {
+            b.iter(|| backend.compress(d, bound).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("decompress");
+    group.throughput(Throughput::Bytes(dataset.byte_size() as u64));
+    group.sample_size(10);
+    for name in ["sz", "zfp", "mgard"] {
+        let backend = registry::compressor(name).unwrap();
+        let compressed = backend.compress(&dataset, bound).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &compressed, |b, data| {
+            b.iter(|| backend.decompress(data).unwrap());
+        });
+    }
+    group.finish();
+
+    // The dictionary stage on its own (SZ's stage 4 substrate).
+    let mut group = c.benchmark_group("lossless_dictionary");
+    let bytes = dataset.buffer.to_le_bytes();
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.sample_size(10);
+    group.bench_function("lzss_compress", |b| {
+        b.iter(|| fraz_lossless::compress(&bytes));
+    });
+    let packed = fraz_lossless::compress(&bytes);
+    group.bench_function("lzss_decompress", |b| {
+        b.iter(|| fraz_lossless::decompress(&packed).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, codec_benchmarks);
+criterion_main!(benches);

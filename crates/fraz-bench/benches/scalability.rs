@@ -1,0 +1,47 @@
+//! Criterion benchmark behind Figure 8: orchestrator runtime as the worker
+//! count grows (strong scaling on a fixed multi-field workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fraz_bench::scale::Scale;
+use fraz_bench::workloads;
+use fraz_core::{Orchestrator, OrchestratorConfig, SearchConfig};
+use fraz_data::Dataset;
+
+fn scalability_benchmarks(c: &mut Criterion) {
+    let app = workloads::hurricane(Scale::Quick);
+    // Keep the workload small: 4 fields x 1 time-step.
+    let fields: Vec<(String, Vec<Dataset>)> = app
+        .field_names()
+        .into_iter()
+        .take(4)
+        .map(|f| (f.clone(), vec![app.field(&f, 0)]))
+        .collect();
+
+    let mut group = c.benchmark_group("orchestrator_strong_scaling");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                let search = SearchConfig {
+                    measure_final_quality: false,
+                    max_iterations: 10,
+                    ..SearchConfig::new(10.0, 0.1).with_regions(4)
+                };
+                let orch = Orchestrator::new(
+                    "sz",
+                    OrchestratorConfig {
+                        total_workers: w,
+                        ..OrchestratorConfig::new(search)
+                    },
+                )
+                .unwrap();
+                orch.run_application(&fields)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scalability_benchmarks);
+criterion_main!(benches);

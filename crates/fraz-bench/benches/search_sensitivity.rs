@@ -1,0 +1,50 @@
+//! Criterion benchmark behind Figure 7: how long one FRaZ search takes as a
+//! function of the target compression ratio (feasible vs infeasible
+//! targets).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fraz_bench::scale::Scale;
+use fraz_bench::workloads;
+use fraz_core::{FixedRatioSearch, SearchConfig};
+use fraz_pressio::registry;
+
+fn search_benchmarks(c: &mut Criterion) {
+    let app = workloads::hurricane(Scale::Quick);
+    let dataset = app.field("CLOUDf", 0);
+
+    let mut group = c.benchmark_group("fixed_ratio_search");
+    group.sample_size(10);
+    // 3:1 is typically below the SZ floor (infeasible, worst case); 10:1 and
+    // 30:1 are feasible.
+    for target in [3.0f64, 10.0, 30.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(target as u64), &target, |b, &t| {
+            b.iter(|| {
+                let config = SearchConfig {
+                    measure_final_quality: false,
+                    max_iterations: 12,
+                    ..SearchConfig::new(t, 0.1).with_regions(4).with_threads(4)
+                };
+                FixedRatioSearch::new(registry::compressor("sz").unwrap(), config).run(&dataset)
+            });
+        });
+    }
+    group.finish();
+
+    // Prediction reuse (Algorithm 1): the steady-state cost per time-step.
+    let mut group = c.benchmark_group("prediction_reuse");
+    group.sample_size(10);
+    let config = SearchConfig {
+        measure_final_quality: false,
+        ..SearchConfig::new(10.0, 0.1).with_regions(4).with_threads(4)
+    };
+    let search = FixedRatioSearch::new(registry::compressor("sz").unwrap(), config);
+    let trained = search.run(&dataset);
+    group.bench_function("with_good_prediction", |b| {
+        b.iter(|| search.run_with_prediction(&dataset, Some(trained.error_bound)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, search_benchmarks);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Experiment scale selection.
+//!
+//! The paper's runs use multi-gigabyte archives and hundreds of cores; the
+//! reproduction defaults to a *quick* profile that preserves every
+//! qualitative behaviour at laptop scale and finishes in minutes.  Set
+//! `FRAZ_BENCH_SCALE=full` for larger grids, more time-steps and wider
+//! sweeps.
+
+/// The selected experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small grids, few time-steps; minutes of runtime (default).
+    Quick,
+    /// Larger grids and longer series, closer to the paper's configuration.
+    Full,
+}
+
+impl Scale {
+    /// Read the scale from the `FRAZ_BENCH_SCALE` environment variable.
+    pub fn from_env() -> Self {
+        match std::env::var("FRAZ_BENCH_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") | Ok("paper") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Pick `quick` or `full` depending on the scale.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+
+    /// Human-readable label for experiment logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_selects_by_scale() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+        assert_eq!(Scale::Quick.label(), "quick");
+        assert_eq!(Scale::Full.label(), "full");
+    }
+
+    #[test]
+    fn env_parsing_defaults_to_quick() {
+        // The variable is unlikely to be set in the test environment; the
+        // important property is that anything unrecognized maps to Quick.
+        let scale = Scale::from_env();
+        assert!(scale == Scale::Quick || scale == Scale::Full);
+    }
+}

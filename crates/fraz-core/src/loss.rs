@@ -1,0 +1,127 @@
+//! The FRaZ loss function (paper §V-B2).
+//!
+//! FRaZ turns "hit a target compression ratio" into a scalar minimization
+//! problem: for an error-bound setting `e` with achieved ratio `ρr(D, e)`,
+//! the loss is the *clamped squared distance*
+//!
+//! ```text
+//! l(e) = min( (ρr(D, e) − ρt)² , γ )
+//! ```
+//!
+//! The clamp `γ` (80 % of `f64::MAX` in the paper, to both give the function
+//! a finite maximum and avoid a Dlib crash) caps the loss for wildly wrong
+//! ratios; the early-termination cutoff accepts any evaluation whose loss
+//! falls inside `[0, ε²·ρt²]`, i.e. whose ratio lands within the user's
+//! acceptable region `[ρt(1−ε), ρt(1+ε)]`.
+
+/// Clamp value: 80 % of the largest representable double, as in the paper.
+pub const DEFAULT_GAMMA: f64 = f64::MAX * 0.8;
+
+/// The clamped-square loss for a fixed target ratio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioLoss {
+    /// Target compression ratio `ρt`.
+    pub target_ratio: f64,
+    /// Acceptable relative error `ε`.
+    pub tolerance: f64,
+    /// Clamp value `γ`.
+    pub gamma: f64,
+}
+
+impl RatioLoss {
+    /// Loss for the given target ratio and tolerance, with the default clamp.
+    pub fn new(target_ratio: f64, tolerance: f64) -> Self {
+        Self {
+            target_ratio,
+            tolerance,
+            gamma: DEFAULT_GAMMA,
+        }
+    }
+
+    /// Evaluate `l(e)` from an achieved compression ratio.
+    #[inline]
+    pub fn loss(&self, achieved_ratio: f64) -> f64 {
+        if !achieved_ratio.is_finite() {
+            return self.gamma;
+        }
+        let d = achieved_ratio - self.target_ratio;
+        (d * d).min(self.gamma)
+    }
+
+    /// The early-termination cutoff `ε²·ρt²`: any loss at or below this value
+    /// corresponds to a ratio inside the acceptable region.
+    #[inline]
+    pub fn cutoff(&self) -> f64 {
+        (self.tolerance * self.target_ratio).powi(2)
+    }
+
+    /// True when the achieved ratio falls inside
+    /// `[ρt(1−ε), ρt(1+ε)]` (Equation 1 of the paper).
+    #[inline]
+    pub fn is_acceptable(&self, achieved_ratio: f64) -> bool {
+        achieved_ratio.is_finite()
+            && achieved_ratio >= self.target_ratio * (1.0 - self.tolerance)
+            && achieved_ratio <= self.target_ratio * (1.0 + self.tolerance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_is_squared_distance_near_target() {
+        let l = RatioLoss::new(10.0, 0.1);
+        assert_eq!(l.loss(10.0), 0.0);
+        assert_eq!(l.loss(12.0), 4.0);
+        assert_eq!(l.loss(8.0), 4.0);
+        assert_eq!(l.loss(7.0), l.loss(13.0));
+    }
+
+    #[test]
+    fn loss_is_clamped_at_gamma() {
+        let l = RatioLoss {
+            target_ratio: 10.0,
+            tolerance: 0.1,
+            gamma: 100.0,
+        };
+        assert_eq!(l.loss(1000.0), 100.0);
+        assert_eq!(l.loss(f64::INFINITY), 100.0);
+        assert_eq!(l.loss(f64::NAN), 100.0);
+    }
+
+    #[test]
+    fn default_gamma_is_finite_and_huge() {
+        let l = RatioLoss::new(50.0, 0.05);
+        assert!(l.gamma.is_finite());
+        assert!(l.loss(1e200) <= l.gamma);
+    }
+
+    #[test]
+    fn cutoff_matches_acceptance_region() {
+        let l = RatioLoss::new(20.0, 0.1);
+        assert_eq!(l.cutoff(), 4.0);
+        // A ratio exactly at the edge of the acceptable region has loss equal
+        // to the cutoff.
+        assert!((l.loss(22.0) - l.cutoff()).abs() < 1e-9);
+        assert!((l.loss(18.0) - l.cutoff()).abs() < 1e-9);
+        // Inside the region: loss below cutoff and acceptable.
+        assert!(l.loss(21.0) < l.cutoff());
+        assert!(l.is_acceptable(21.0));
+        assert!(l.is_acceptable(18.0));
+        // Outside: loss above cutoff and not acceptable.
+        assert!(l.loss(25.0) > l.cutoff());
+        assert!(!l.is_acceptable(25.0));
+        assert!(!l.is_acceptable(f64::NAN));
+    }
+
+    #[test]
+    fn acceptance_is_consistent_with_loss_cutoff() {
+        let l = RatioLoss::new(15.0, 0.2);
+        for ratio in [1.0, 11.9, 12.0, 12.1, 15.0, 17.9, 18.0, 18.1, 100.0] {
+            let by_region = l.is_acceptable(ratio);
+            let by_loss = l.loss(ratio) <= l.cutoff() + 1e-12;
+            assert_eq!(by_region, by_loss, "ratio {ratio}");
+        }
+    }
+}

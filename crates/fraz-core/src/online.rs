@@ -1,0 +1,321 @@
+//! Online (in-situ) fixed-ratio control — the paper's second future-work
+//! item (§VII).
+//!
+//! The offline orchestrator can afford a full region-parallel search per
+//! field because the archive already exists on disk.  An *in-situ* producer
+//! (a running simulation or an instrument) sees one time-step at a time and
+//! can only spare a handful of extra compressions per step.  The
+//! [`OnlineController`] provides that mode:
+//!
+//! * the first step (and any step whose ratio drifts outside a *soft* window)
+//!   runs a bounded search seeded at the current bound,
+//! * in steady state every step costs exactly one compression: the current
+//!   bound is applied and a multiplicative correction nudges it whenever the
+//!   achieved ratio drifts, exploiting the fact that the ratio is locally an
+//!   increasing function of the bound even though it is globally spiky,
+//! * the user's error ceiling `U` is never exceeded, and the controller
+//!   reports per-step telemetry so the producer can react (e.g. fall back to
+//!   a different compressor if the target keeps being infeasible).
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use fraz_data::Dataset;
+use fraz_pressio::Compressor;
+
+use crate::loss::RatioLoss;
+use crate::search::{FixedRatioSearch, SearchConfig};
+
+/// Configuration of the online controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineControllerConfig {
+    /// Target compression ratio.
+    pub target_ratio: f64,
+    /// Hard acceptance window (the offline ε): a step is "on target" when its
+    /// ratio is within this relative deviation.
+    pub tolerance: f64,
+    /// Soft window: drift beyond this relative deviation triggers a
+    /// re-search on the next step instead of a proportional nudge.
+    pub resync_tolerance: f64,
+    /// Maximum error bound (`U`) the controller may ever use.
+    pub max_error_bound: Option<f64>,
+    /// Proportional gain of the per-step correction (0 disables nudging).
+    pub gain: f64,
+    /// Search settings used for the initial calibration and re-syncs; keep
+    /// the budget small — this runs inside the producer's critical path.
+    pub calibration: SearchConfig,
+}
+
+impl OnlineControllerConfig {
+    /// A controller for the given target ratio with defaults tuned for a
+    /// handful of calibration compressions and one compression per step in
+    /// steady state.
+    pub fn new(target_ratio: f64, tolerance: f64) -> Self {
+        let calibration = SearchConfig {
+            regions: 4,
+            max_iterations: 12,
+            threads: 4,
+            measure_final_quality: false,
+            ..SearchConfig::new(target_ratio, tolerance)
+        };
+        Self {
+            target_ratio,
+            tolerance,
+            resync_tolerance: tolerance * 3.0,
+            max_error_bound: None,
+            gain: 0.6,
+            calibration,
+        }
+    }
+}
+
+/// Telemetry for one streamed time-step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStepReport {
+    /// Time-step index (in arrival order).
+    pub step: usize,
+    /// Error bound used for this step.
+    pub error_bound: f64,
+    /// Achieved compression ratio.
+    pub compression_ratio: f64,
+    /// Compressed size in bytes.
+    pub compressed_bytes: usize,
+    /// True when the ratio landed inside the hard acceptance window.
+    pub on_target: bool,
+    /// Number of compressions spent on this step (1 in steady state).
+    pub compressions: usize,
+    /// True when this step triggered a full re-calibration search.
+    pub recalibrated: bool,
+    /// Wall-clock time spent on this step.
+    pub elapsed: Duration,
+}
+
+/// Streaming fixed-ratio controller.
+pub struct OnlineController {
+    search: FixedRatioSearch,
+    config: OnlineControllerConfig,
+    loss: RatioLoss,
+    current_bound: Option<f64>,
+    steps_processed: usize,
+    history: Vec<OnlineStepReport>,
+}
+
+impl OnlineController {
+    /// Create a controller that owns the given compressor backend.
+    pub fn new(compressor: Box<dyn Compressor>, config: OnlineControllerConfig) -> Self {
+        let mut calibration = config.calibration.clone();
+        calibration.max_error_bound = config.max_error_bound;
+        let loss = RatioLoss::new(config.target_ratio, config.tolerance);
+        Self {
+            search: FixedRatioSearch::new(compressor, calibration),
+            config,
+            loss,
+            current_bound: None,
+            steps_processed: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// The bound the controller will try first on the next step, if any.
+    pub fn current_bound(&self) -> Option<f64> {
+        self.current_bound
+    }
+
+    /// Telemetry for every step processed so far.
+    pub fn history(&self) -> &[OnlineStepReport] {
+        &self.history
+    }
+
+    /// Fraction of processed steps that landed inside the acceptance window.
+    pub fn on_target_rate(&self) -> f64 {
+        if self.history.is_empty() {
+            return 0.0;
+        }
+        self.history.iter().filter(|s| s.on_target).count() as f64 / self.history.len() as f64
+    }
+
+    /// Average number of compressions per processed step (1.0 is the ideal
+    /// steady state; the first step and re-syncs raise it).
+    pub fn mean_compressions_per_step(&self) -> f64 {
+        if self.history.is_empty() {
+            return 0.0;
+        }
+        self.history.iter().map(|s| s.compressions).sum::<usize>() as f64
+            / self.history.len() as f64
+    }
+
+    fn clamp_bound(&self, bound: f64, dataset: &Dataset) -> f64 {
+        let (lower, mut upper) = self.search.compressor().bound_range(dataset);
+        if let Some(u) = self.config.max_error_bound {
+            if u > lower {
+                upper = upper.min(u);
+            }
+        }
+        bound.clamp(lower, upper)
+    }
+
+    /// Compress one arriving time-step, returning the compressed bytes and
+    /// the step's telemetry.
+    pub fn compress_step(&mut self, dataset: &Dataset) -> (Vec<u8>, OnlineStepReport) {
+        let start = Instant::now();
+        let step = self.steps_processed;
+        self.steps_processed += 1;
+        let mut compressions = 0usize;
+        let mut recalibrated = false;
+
+        // Decide the bound for this step.
+        let mut bound = match self.current_bound {
+            Some(b) => self.clamp_bound(b, dataset),
+            None => {
+                // First step: full (bounded) calibration search.
+                recalibrated = true;
+                let outcome = self.search.run(dataset);
+                compressions += outcome.evaluations;
+                self.clamp_bound(outcome.error_bound, dataset)
+            }
+        };
+
+        // Compress at the chosen bound.
+        let mut outcome = self
+            .search
+            .compressor()
+            .evaluate(dataset, bound, false)
+            .unwrap_or_else(|_| {
+                // An invalid bound (e.g. after clamping on a degenerate
+                // field) falls back to the lower end of the valid range.
+                let (lower, _) = self.search.compressor().bound_range(dataset);
+                bound = lower;
+                self.search
+                    .compressor()
+                    .evaluate(dataset, lower, false)
+                    .expect("lower end of the bound range is always valid")
+            });
+        compressions += 1;
+
+        // If the ratio drifted far outside the soft window, re-calibrate now
+        // (this is the expensive path; it should be rare).
+        let soft = RatioLoss::new(self.config.target_ratio, self.config.resync_tolerance);
+        if !soft.is_acceptable(outcome.compression_ratio) {
+            recalibrated = true;
+            let searched = self.search.run_with_prediction(dataset, Some(bound));
+            compressions += searched.evaluations;
+            bound = self.clamp_bound(searched.error_bound, dataset);
+            outcome = self
+                .search
+                .compressor()
+                .evaluate(dataset, bound, false)
+                .unwrap_or(outcome);
+            compressions += 1;
+        }
+
+        let on_target = self.loss.is_acceptable(outcome.compression_ratio);
+
+        // Proportional correction for the next step: if the ratio is high the
+        // bound can shrink (better fidelity), if it is low the bound grows.
+        let next_bound = if self.config.gain > 0.0 && outcome.compression_ratio > 0.0 {
+            let error = self.config.target_ratio / outcome.compression_ratio;
+            bound * error.powf(self.config.gain)
+        } else {
+            bound
+        };
+        self.current_bound = Some(self.clamp_bound(next_bound, dataset));
+
+        let compressed = self
+            .search
+            .compressor()
+            .compress(dataset, bound)
+            .unwrap_or_default();
+        let report = OnlineStepReport {
+            step,
+            error_bound: bound,
+            compression_ratio: outcome.compression_ratio,
+            compressed_bytes: compressed.len(),
+            on_target,
+            compressions,
+            recalibrated,
+            elapsed: start.elapsed(),
+        };
+        self.history.push(report.clone());
+        (compressed, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fraz_data::synthetic;
+    use fraz_pressio::registry;
+
+    fn controller(target: f64) -> OnlineController {
+        OnlineController::new(
+            registry::compressor("sz").unwrap(),
+            OnlineControllerConfig::new(target, 0.1),
+        )
+    }
+
+    #[test]
+    fn stream_stays_on_target_with_one_compression_per_step() {
+        let app = synthetic::hurricane(6, 16, 16, 8, 3);
+        let mut ctl = controller(10.0);
+        for t in 0..app.timesteps() {
+            let frame = app.field("TCf", t);
+            let (compressed, report) = ctl.compress_step(&frame);
+            assert_eq!(report.step, t);
+            assert!(!compressed.is_empty());
+            assert!(report.compression_ratio > 1.0);
+        }
+        assert!(ctl.on_target_rate() >= 0.5, "rate {}", ctl.on_target_rate());
+        // Steady state should be cheap: well under the ~50+ compressions a
+        // full search costs, averaged over the stream.
+        assert!(
+            ctl.mean_compressions_per_step() < 20.0,
+            "{} compressions/step",
+            ctl.mean_compressions_per_step()
+        );
+        // After the calibration step, most steps cost exactly one compression.
+        let steady: Vec<_> = ctl.history().iter().skip(1).collect();
+        let single = steady.iter().filter(|s| s.compressions == 1).count();
+        assert!(single * 2 >= steady.len(), "{single}/{}", steady.len());
+    }
+
+    #[test]
+    fn controller_never_exceeds_the_error_ceiling() {
+        let app = synthetic::cesm(24, 32, 4, 9);
+        let ceiling = app.field("FLDSC", 0).stats().value_range() * 1e-3;
+        let mut config = OnlineControllerConfig::new(50.0, 0.1);
+        config.max_error_bound = Some(ceiling);
+        let mut ctl = OnlineController::new(registry::compressor("sz").unwrap(), config);
+        for t in 0..app.timesteps() {
+            let frame = app.field("FLDSC", t);
+            let (_, report) = ctl.compress_step(&frame);
+            assert!(report.error_bound <= ceiling * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn first_step_calibrates_and_later_steps_reuse() {
+        let app = synthetic::nyx(12, 12, 12, 3, 5);
+        let mut ctl = controller(8.0);
+        let (_, first) = ctl.compress_step(&app.field("temperature", 0));
+        assert!(first.recalibrated);
+        assert!(first.compressions > 1);
+        let (_, second) = ctl.compress_step(&app.field("temperature", 1));
+        // The second step starts from the calibrated bound.
+        assert!(second.compressions < first.compressions);
+        assert!(ctl.current_bound().is_some());
+    }
+
+    #[test]
+    fn telemetry_accumulates() {
+        let app = synthetic::hurricane(4, 12, 12, 3, 8);
+        let mut ctl = controller(12.0);
+        assert_eq!(ctl.history().len(), 0);
+        assert_eq!(ctl.on_target_rate(), 0.0);
+        for t in 0..3 {
+            ctl.compress_step(&app.field("Pf", t));
+        }
+        assert_eq!(ctl.history().len(), 3);
+        assert!(ctl.mean_compressions_per_step() >= 1.0);
+    }
+}

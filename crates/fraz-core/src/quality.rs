@@ -1,0 +1,354 @@
+//! Fixed-*quality* search — the paper's first future-work item (§VII).
+//!
+//! FRaZ's conclusion asks for "arbitrary user error bounds … that correspond
+//! with the quality of a scientist's analysis result", citing work that
+//! prescribes a minimum SSIM for valid climate analyses.  This module
+//! generalizes the fixed-ratio machinery to that setting: instead of a target
+//! compression ratio, the user states a target value of a *quality metric*
+//! (PSNR, SSIM, or a bound on the RMSE/maximum error) and FRaZ searches the
+//! error-bound space for the setting that **maximizes compression while still
+//! meeting the quality target**.
+//!
+//! Unlike the ratio objective, quality metrics are (noisily) monotone in the
+//! error bound, so a different search strategy is appropriate: the search
+//! brackets the constraint boundary with a coarse logarithmic sweep and then
+//! bisects it, keeping the most compressive setting that still satisfies the
+//! constraint.  (The ratio search's MaxLIPO machinery is unnecessary here —
+//! there is no spiky multi-modal landscape to escape.)
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use fraz_data::Dataset;
+use fraz_pressio::{CompressionOutcome, Compressor};
+
+use crate::regions::BoundScale;
+
+/// The quality metric a [`FixedQualitySearch`] constrains.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QualityMetric {
+    /// Peak signal-to-noise ratio in dB; the constraint is `psnr >= target`.
+    PsnrAtLeast(f64),
+    /// Mean SSIM over the central slice; the constraint is `ssim >= target`.
+    SsimAtLeast(f64),
+    /// Root-mean-square error; the constraint is `rmse <= target`.
+    RmseAtMost(f64),
+    /// Maximum pointwise error; the constraint is `max_error <= target`.
+    MaxErrorAtMost(f64),
+}
+
+impl QualityMetric {
+    /// True when the measured quality report satisfies the constraint.
+    pub fn is_satisfied(&self, quality: &fraz_metrics::QualityReport) -> bool {
+        match *self {
+            QualityMetric::PsnrAtLeast(target) => quality.psnr >= target,
+            QualityMetric::SsimAtLeast(target) => quality.ssim >= target,
+            QualityMetric::RmseAtMost(target) => quality.rmse <= target,
+            QualityMetric::MaxErrorAtMost(target) => quality.max_abs_error <= target,
+        }
+    }
+
+    /// A human-readable description of the constraint.
+    pub fn describe(&self) -> String {
+        match *self {
+            QualityMetric::PsnrAtLeast(t) => format!("PSNR >= {t} dB"),
+            QualityMetric::SsimAtLeast(t) => format!("SSIM >= {t}"),
+            QualityMetric::RmseAtMost(t) => format!("RMSE <= {t}"),
+            QualityMetric::MaxErrorAtMost(t) => format!("max error <= {t}"),
+        }
+    }
+}
+
+/// Configuration of a fixed-quality search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualitySearchConfig {
+    /// The quality constraint to honour.
+    pub metric: QualityMetric,
+    /// Maximum objective evaluations (each is a compress + decompress +
+    /// measure round, so noticeably more expensive than a ratio evaluation).
+    pub max_iterations: usize,
+    /// Layout of the search on the error-bound axis.
+    pub scale: BoundScale,
+    /// Stop early once an acceptable setting whose ratio is within
+    /// `improvement_tolerance` (relative) of the best seen so far has been
+    /// stable for `patience` evaluations.  Smaller = more thorough.
+    pub improvement_tolerance: f64,
+    /// Maximum allowed error bound (the same `U` as the ratio search).
+    pub max_error_bound: Option<f64>,
+}
+
+impl QualitySearchConfig {
+    /// A search for the given quality constraint with sensible defaults.
+    pub fn new(metric: QualityMetric) -> Self {
+        Self {
+            metric,
+            max_iterations: 24,
+            scale: BoundScale::Log,
+            improvement_tolerance: 0.02,
+            max_error_bound: None,
+        }
+    }
+}
+
+/// Result of a fixed-quality search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualitySearchOutcome {
+    /// Recommended error-bound setting.
+    pub error_bound: f64,
+    /// The outcome at that setting (always includes the quality report).
+    pub best: CompressionOutcome,
+    /// True when at least one evaluated setting satisfied the constraint.
+    pub satisfiable: bool,
+    /// Number of compress+measure rounds performed.
+    pub evaluations: usize,
+    /// Wall-clock time of the search.
+    pub elapsed: Duration,
+}
+
+/// Searches for the most compressive error bound that still satisfies a
+/// quality constraint.
+pub struct FixedQualitySearch {
+    compressor: Box<dyn Compressor>,
+    config: QualitySearchConfig,
+}
+
+impl FixedQualitySearch {
+    /// Create a search driver owning the given compressor backend.
+    pub fn new(compressor: Box<dyn Compressor>, config: QualitySearchConfig) -> Self {
+        Self { compressor, config }
+    }
+
+    /// Borrow the underlying compressor.
+    pub fn compressor(&self) -> &dyn Compressor {
+        self.compressor.as_ref()
+    }
+
+    /// Run the search on one dataset.
+    pub fn run(&self, dataset: &Dataset) -> QualitySearchOutcome {
+        let start = Instant::now();
+        let (lower, mut upper) = self.compressor.bound_range(dataset);
+        if let Some(u) = self.config.max_error_bound {
+            if u > lower {
+                upper = upper.min(u);
+            }
+        }
+        let upper = upper.max(lower * (1.0 + 1e-9));
+
+        // Work on a log axis when requested (bounds span decades).
+        let to_x = |bound: f64| match self.config.scale {
+            BoundScale::Linear => bound,
+            BoundScale::Log => bound.log10(),
+        };
+        let from_x = |x: f64| match self.config.scale {
+            BoundScale::Linear => x,
+            BoundScale::Log => 10f64.powf(x),
+        };
+
+        // Track the best acceptable evaluation (highest ratio among those
+        // satisfying the constraint).
+        let mut best_acceptable: Option<(f64, CompressionOutcome)> = None;
+        let evaluations = std::cell::Cell::new(0usize);
+
+        let evaluate = |x: f64, best: &mut Option<(f64, CompressionOutcome)>| -> Option<bool> {
+            let bound = from_x(x).clamp(lower, upper);
+            evaluations.set(evaluations.get() + 1);
+            match self.compressor.evaluate(dataset, bound, true) {
+                Ok(outcome) => {
+                    let quality = outcome.quality.as_ref().expect("quality requested");
+                    let ok = self.config.metric.is_satisfied(quality);
+                    if ok {
+                        let better = match best {
+                            None => true,
+                            Some((_, b)) => outcome.compression_ratio > b.compression_ratio,
+                        };
+                        if better {
+                            *best = Some((bound, outcome));
+                        }
+                    }
+                    Some(ok)
+                }
+                Err(_) => None,
+            }
+        };
+
+        // Phase 1: coarse sweep to bracket the constraint boundary.  The
+        // quality degrades (noisily) as the bound grows, so the boundary is
+        // the largest bound that still satisfies the constraint.
+        let sweep_points = (self.config.max_iterations / 2).clamp(4, 12);
+        let (xlo, xhi) = (to_x(lower), to_x(upper));
+        let mut last_ok: Option<f64> = None;
+        let mut first_bad: Option<f64> = None;
+        for i in 0..sweep_points {
+            let x = xlo + (xhi - xlo) * i as f64 / (sweep_points - 1) as f64;
+            match evaluate(x, &mut best_acceptable) {
+                Some(true) => last_ok = Some(x),
+                Some(false) => {
+                    if last_ok.is_some() && first_bad.is_none() {
+                        first_bad = Some(x);
+                    }
+                }
+                None => {}
+            }
+        }
+
+        // Phase 2: bisect between the last satisfying and the first violating
+        // bound to squeeze out the remaining compression.
+        if let (Some(mut ok_x), Some(mut bad_x)) = (last_ok, first_bad) {
+            let remaining = self.config.max_iterations.saturating_sub(evaluations.get());
+            for _ in 0..remaining {
+                if (bad_x - ok_x).abs()
+                    <= self.config.improvement_tolerance * (xhi - xlo).abs()
+                {
+                    break;
+                }
+                let mid = 0.5 * (ok_x + bad_x);
+                match evaluate(mid, &mut best_acceptable) {
+                    Some(true) => ok_x = mid,
+                    Some(false) => bad_x = mid,
+                    None => break,
+                }
+            }
+        }
+
+        match best_acceptable {
+            Some((bound, outcome)) => QualitySearchOutcome {
+                error_bound: bound,
+                best: outcome,
+                satisfiable: true,
+                evaluations: evaluations.get(),
+                elapsed: start.elapsed(),
+            },
+            None => {
+                // Nothing satisfied the constraint: fall back to the
+                // smallest bound (highest fidelity the compressor offers).
+                let fallback = self
+                    .compressor
+                    .evaluate(dataset, lower, true)
+                    .unwrap_or(CompressionOutcome {
+                        compressor: self.compressor.name().to_string(),
+                        error_bound: lower,
+                        compression_ratio: 0.0,
+                        bit_rate: 0.0,
+                        compressed_bytes: 0,
+                        original_bytes: dataset.byte_size(),
+                        quality: None,
+                    });
+                QualitySearchOutcome {
+                    error_bound: lower,
+                    best: fallback,
+                    satisfiable: false,
+                    evaluations: evaluations.get(),
+                    elapsed: start.elapsed(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fraz_data::synthetic;
+    use fraz_pressio::registry;
+
+    fn dataset() -> Dataset {
+        synthetic::hurricane(8, 20, 20, 1, 77).field("TCf", 0)
+    }
+
+    #[test]
+    fn metric_satisfaction_logic() {
+        let report = fraz_metrics::QualityReport {
+            compression_ratio: 10.0,
+            bit_rate: 3.2,
+            max_abs_error: 0.5,
+            rmse: 0.1,
+            psnr: 60.0,
+            ssim: 0.95,
+            acf_error: 0.2,
+            num_points: 100,
+            original_bytes: 400,
+            compressed_bytes: 40,
+        };
+        assert!(QualityMetric::PsnrAtLeast(50.0).is_satisfied(&report));
+        assert!(!QualityMetric::PsnrAtLeast(70.0).is_satisfied(&report));
+        assert!(QualityMetric::SsimAtLeast(0.9).is_satisfied(&report));
+        assert!(!QualityMetric::SsimAtLeast(0.99).is_satisfied(&report));
+        assert!(QualityMetric::RmseAtMost(0.2).is_satisfied(&report));
+        assert!(!QualityMetric::RmseAtMost(0.05).is_satisfied(&report));
+        assert!(QualityMetric::MaxErrorAtMost(1.0).is_satisfied(&report));
+        assert!(!QualityMetric::MaxErrorAtMost(0.1).is_satisfied(&report));
+        assert!(QualityMetric::PsnrAtLeast(50.0).describe().contains("PSNR"));
+    }
+
+    #[test]
+    fn psnr_target_is_met_and_ratio_is_maximized() {
+        let d = dataset();
+        let config = QualitySearchConfig {
+            max_iterations: 20,
+            ..QualitySearchConfig::new(QualityMetric::PsnrAtLeast(60.0))
+        };
+        let search = FixedQualitySearch::new(registry::compressor("sz").unwrap(), config);
+        let outcome = search.run(&d);
+        assert!(outcome.satisfiable);
+        let quality = outcome.best.quality.as_ref().unwrap();
+        assert!(quality.psnr >= 60.0, "psnr {}", quality.psnr);
+        // The point of the search: it should compress much better than the
+        // most conservative setting while still meeting the target.
+        let conservative = search
+            .compressor()
+            .evaluate(&d, search.compressor().bound_range(&d).0, false)
+            .unwrap();
+        assert!(outcome.best.compression_ratio > conservative.compression_ratio);
+    }
+
+    #[test]
+    fn stricter_targets_give_lower_ratios() {
+        let d = dataset();
+        let run = |psnr: f64| {
+            let config = QualitySearchConfig {
+                max_iterations: 20,
+                ..QualitySearchConfig::new(QualityMetric::PsnrAtLeast(psnr))
+            };
+            FixedQualitySearch::new(registry::compressor("sz").unwrap(), config).run(&d)
+        };
+        let loose = run(40.0);
+        let strict = run(90.0);
+        assert!(loose.satisfiable && strict.satisfiable);
+        assert!(
+            loose.best.compression_ratio >= strict.best.compression_ratio,
+            "loose {} vs strict {}",
+            loose.best.compression_ratio,
+            strict.best.compression_ratio
+        );
+        assert!(strict.best.quality.as_ref().unwrap().psnr >= 90.0);
+    }
+
+    #[test]
+    fn impossible_target_reports_unsatisfiable() {
+        let d = dataset();
+        // SSIM cannot exceed 1, so this constraint is unsatisfiable by
+        // construction (a tiny error bound can reach infinite PSNR, so a
+        // PSNR target would not work for this test).
+        let config = QualitySearchConfig {
+            max_iterations: 8,
+            ..QualitySearchConfig::new(QualityMetric::SsimAtLeast(1.5))
+        };
+        let outcome = FixedQualitySearch::new(registry::compressor("sz").unwrap(), config).run(&d);
+        assert!(!outcome.satisfiable);
+        assert!(outcome.evaluations >= 4);
+    }
+
+    #[test]
+    fn max_error_constraint_is_respected() {
+        let d = dataset();
+        let ceiling = d.stats().value_range() * 1e-3;
+        let config = QualitySearchConfig {
+            max_iterations: 16,
+            ..QualitySearchConfig::new(QualityMetric::MaxErrorAtMost(ceiling))
+        };
+        let outcome = FixedQualitySearch::new(registry::compressor("zfp").unwrap(), config).run(&d);
+        assert!(outcome.satisfiable);
+        assert!(outcome.best.quality.as_ref().unwrap().max_abs_error <= ceiling);
+    }
+}

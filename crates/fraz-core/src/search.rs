@@ -1,0 +1,496 @@
+//! The FRaZ fixed-ratio search: worker task (Algorithm 1) and region-parallel
+//! training (Algorithm 2).
+//!
+//! Given a black-box error-bounded compressor, a dataset and a target
+//! compression ratio, [`FixedRatioSearch`] finds an error-bound setting whose
+//! achieved ratio falls inside the user's acceptable region
+//! `[ρt(1−ε), ρt(1+ε)]`, never exceeding an optional maximum allowed error
+//! `U`.  The error-bound range is split into overlapping regions searched
+//! concurrently; the first region to find an acceptable setting cancels the
+//! others (early termination), and if none succeeds the closest observed
+//! ratio is reported as an infeasible-but-best-effort answer — exactly the
+//! semantics of the paper's Algorithms 1 and 2.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use fraz_data::Dataset;
+use fraz_pressio::{CompressionOutcome, Compressor};
+
+use crate::loss::RatioLoss;
+use crate::optim::{GlobalMinimizer, OptimizerConfig};
+use crate::regions::{make_error_bounds, BoundScale, Region};
+
+/// Configuration of a fixed-ratio search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// Target compression ratio `ρt`.
+    pub target_ratio: f64,
+    /// Acceptable relative deviation `ε` from the target ratio.
+    pub tolerance: f64,
+    /// Maximum allowed compression error `U`; `None` uses the compressor's
+    /// full valid range (the paper's default upper bound).
+    pub max_error_bound: Option<f64>,
+    /// Number of overlapping search regions (the paper found 12 to be a good
+    /// default).
+    pub regions: usize,
+    /// Fractional overlap between adjacent regions (paper: 10 %).
+    pub region_overlap: f64,
+    /// Maximum objective evaluations per region.
+    pub max_iterations: usize,
+    /// Enable the early-termination cutoff (the paper's Dlib modification).
+    pub use_cutoff: bool,
+    /// Layout of the regions on the error-bound axis.
+    pub scale: BoundScale,
+    /// Worker threads for region-parallel training; 0 means one per region
+    /// (capped by the available parallelism).
+    pub threads: usize,
+    /// After the search, re-run the best setting with full quality metrics.
+    pub measure_final_quality: bool,
+}
+
+impl SearchConfig {
+    /// A search for `target_ratio` within relative tolerance `tolerance`,
+    /// with the paper's defaults for everything else.
+    pub fn new(target_ratio: f64, tolerance: f64) -> Self {
+        Self {
+            target_ratio,
+            tolerance,
+            max_error_bound: None,
+            regions: 12,
+            region_overlap: 0.1,
+            max_iterations: 24,
+            use_cutoff: true,
+            scale: BoundScale::Log,
+            threads: 0,
+            measure_final_quality: true,
+        }
+    }
+
+    /// Builder-style setter for the maximum allowed compression error `U`.
+    pub fn with_max_error(mut self, max_error_bound: f64) -> Self {
+        self.max_error_bound = Some(max_error_bound);
+        self
+    }
+
+    /// Builder-style setter for the number of regions.
+    pub fn with_regions(mut self, regions: usize) -> Self {
+        self.regions = regions.max(1);
+        self
+    }
+
+    /// Builder-style setter for the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    fn worker_count(&self) -> usize {
+        let available = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        if self.threads == 0 {
+            self.regions.min(available)
+        } else {
+            self.threads.min(self.regions).max(1)
+        }
+    }
+
+    fn loss(&self) -> RatioLoss {
+        RatioLoss::new(self.target_ratio, self.tolerance)
+    }
+}
+
+/// Result of searching one region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionOutcome {
+    /// The region that was searched.
+    pub region: Region,
+    /// Best error bound found in the region.
+    pub error_bound: f64,
+    /// Compression ratio achieved at that bound.
+    pub compression_ratio: f64,
+    /// Loss at that bound.
+    pub loss: f64,
+    /// Number of compressor invocations spent in the region.
+    pub iterations: usize,
+    /// True if the region's search hit the early-termination cutoff.
+    pub reached_cutoff: bool,
+    /// True if the region was cancelled by another region's success.
+    pub cancelled: bool,
+}
+
+/// Result of a fixed-ratio search on one dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// The recommended error-bound setting.
+    pub error_bound: f64,
+    /// The outcome of compressing at that setting (with quality metrics when
+    /// `measure_final_quality` is set).
+    pub best: CompressionOutcome,
+    /// True when the achieved ratio lies inside the acceptable region —
+    /// i.e. the requested ratio was feasible.
+    pub feasible: bool,
+    /// Whether a fresh training search ran (false when a previous time-step's
+    /// prediction was reused, Algorithm 1).
+    pub retrained: bool,
+    /// Total number of compressor invocations.
+    pub evaluations: usize,
+    /// Wall-clock time of the whole search.
+    pub elapsed: Duration,
+    /// Per-region details (empty when the prediction was reused).
+    pub regions: Vec<RegionOutcome>,
+}
+
+/// The FRaZ fixed-ratio search driver for a single compressor.
+pub struct FixedRatioSearch {
+    compressor: Box<dyn Compressor>,
+    config: SearchConfig,
+}
+
+impl FixedRatioSearch {
+    /// Create a search driver owning the given compressor backend.
+    pub fn new(compressor: Box<dyn Compressor>, config: SearchConfig) -> Self {
+        Self { compressor, config }
+    }
+
+    /// Borrow the underlying compressor.
+    pub fn compressor(&self) -> &dyn Compressor {
+        self.compressor.as_ref()
+    }
+
+    /// Borrow the search configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// The `(lower, upper)` error-bound range the search will cover for this
+    /// dataset, honouring `max_error_bound` (`U`).
+    pub fn bound_range(&self, dataset: &Dataset) -> (f64, f64) {
+        let (lower, mut upper) = self.compressor.bound_range(dataset);
+        if let Some(u) = self.config.max_error_bound {
+            if u > lower {
+                upper = upper.min(u);
+            }
+        }
+        (lower, upper.max(lower * (1.0 + 1e-9)))
+    }
+
+    /// Algorithm 2: region-parallel training on one dataset.
+    pub fn run(&self, dataset: &Dataset) -> SearchOutcome {
+        self.run_with_prediction(dataset, None)
+    }
+
+    /// Algorithm 1: try a predicted error bound first (e.g. the previous
+    /// time-step's answer); fall back to full training when it misses.
+    pub fn run_with_prediction(&self, dataset: &Dataset, prediction: Option<f64>) -> SearchOutcome {
+        let start = Instant::now();
+        let loss = self.config.loss();
+
+        // Step 1 of Algorithm 1: if a prediction was provided, try it first.
+        if let Some(p) = prediction {
+            if p > 0.0 {
+                if let Ok(outcome) = self.compressor.evaluate(dataset, p, false) {
+                    if loss.is_acceptable(outcome.compression_ratio) {
+                        let best = self.finalize(dataset, p, outcome);
+                        return SearchOutcome {
+                            error_bound: p,
+                            feasible: true,
+                            retrained: false,
+                            evaluations: 1,
+                            elapsed: start.elapsed(),
+                            regions: Vec::new(),
+                            best,
+                        };
+                    }
+                }
+            }
+        }
+
+        // Step 2: full region-parallel training.
+        let (lower, upper) = self.bound_range(dataset);
+        let regions = make_error_bounds(
+            lower,
+            upper,
+            self.config.regions,
+            self.config.region_overlap,
+            self.config.scale,
+        );
+        let cancel = AtomicBool::new(false);
+        let queue: Mutex<Vec<Region>> = Mutex::new(regions.clone());
+        let results: Mutex<Vec<RegionOutcome>> = Mutex::new(Vec::with_capacity(regions.len()));
+        let workers = self.config.worker_count();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if cancel.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let region = match queue.lock().pop() {
+                        Some(r) => r,
+                        None => break,
+                    };
+                    let outcome = self.search_region(dataset, &loss, region, &cancel);
+                    let acceptable = loss.is_acceptable(outcome.compression_ratio);
+                    results.lock().push(outcome);
+                    if acceptable {
+                        // Early termination: cancel every region that has not
+                        // finished yet (Algorithm 2, lines 9-14).
+                        cancel.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                });
+            }
+        });
+
+        let regions_out = results.into_inner();
+        let mut best: Option<&RegionOutcome> = None;
+        for r in &regions_out {
+            let better = match best {
+                None => true,
+                Some(b) => r.loss < b.loss,
+            };
+            if better {
+                best = Some(r);
+            }
+        }
+        let (error_bound, feasible) = match best {
+            Some(b) => (b.error_bound, loss.is_acceptable(b.compression_ratio)),
+            None => (lower, false),
+        };
+        let evaluations: usize = regions_out.iter().map(|r| r.iterations).sum();
+        let best_outcome = self
+            .compressor
+            .evaluate(dataset, error_bound, false)
+            .unwrap_or(CompressionOutcome {
+                compressor: self.compressor.name().to_string(),
+                error_bound,
+                compression_ratio: 0.0,
+                bit_rate: 0.0,
+                compressed_bytes: 0,
+                original_bytes: dataset.byte_size(),
+                quality: None,
+            });
+        let best = self.finalize(dataset, error_bound, best_outcome);
+        SearchOutcome {
+            error_bound,
+            best,
+            feasible,
+            retrained: true,
+            evaluations: evaluations + 1,
+            elapsed: start.elapsed(),
+            regions: regions_out,
+        }
+    }
+
+    /// Worker task for one region (the inner call of Algorithm 1:
+    /// `train_with_cutoff`).
+    fn search_region(
+        &self,
+        dataset: &Dataset,
+        loss: &RatioLoss,
+        region: Region,
+        cancel: &AtomicBool,
+    ) -> RegionOutcome {
+        let mut objective = |e: f64| match self.compressor.evaluate(dataset, e, false) {
+            Ok(outcome) => (loss.loss(outcome.compression_ratio), outcome.compression_ratio),
+            Err(_) => (loss.gamma, 0.0),
+        };
+        let optimizer = GlobalMinimizer::new(OptimizerConfig {
+            max_evaluations: self.config.max_iterations,
+            cutoff: if self.config.use_cutoff { loss.cutoff() } else { 0.0 },
+            ..Default::default()
+        });
+        let trace = optimizer.minimize(&mut objective, region.lower, region.upper, Some(cancel));
+        RegionOutcome {
+            region,
+            error_bound: trace.best.x,
+            compression_ratio: trace.best.ratio,
+            loss: trace.best.loss,
+            iterations: trace.iterations(),
+            reached_cutoff: trace.reached_cutoff,
+            cancelled: trace.cancelled,
+        }
+    }
+
+    /// Optionally re-measure the chosen bound with full quality metrics.
+    fn finalize(
+        &self,
+        dataset: &Dataset,
+        error_bound: f64,
+        fallback: CompressionOutcome,
+    ) -> CompressionOutcome {
+        if !self.config.measure_final_quality {
+            return fallback;
+        }
+        self.compressor
+            .evaluate(dataset, error_bound, true)
+            .unwrap_or(fallback)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fraz_data::Dims;
+    use fraz_pressio::registry;
+
+    fn smooth_field() -> Dataset {
+        let (nz, ny, nx) = (8usize, 20usize, 20usize);
+        let mut values = Vec::with_capacity(nz * ny * nx);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    values.push(
+                        ((x as f32 * 0.31).sin() + (y as f32 * 0.17).cos()) * 5.0
+                            + (z as f32 * 0.41).sin() * 2.0,
+                    );
+                }
+            }
+        }
+        Dataset::from_f32("test", "smooth", 0, Dims::d3(nz, ny, nx), values)
+    }
+
+    fn quick_config(target: f64) -> SearchConfig {
+        SearchConfig {
+            regions: 4,
+            max_iterations: 16,
+            threads: 2,
+            ..SearchConfig::new(target, 0.1)
+        }
+    }
+
+    #[test]
+    fn feasible_target_is_hit_within_tolerance() {
+        let dataset = smooth_field();
+        let search = FixedRatioSearch::new(registry::compressor("sz").unwrap(), quick_config(10.0));
+        let outcome = search.run(&dataset);
+        assert!(outcome.feasible, "10:1 should be feasible on smooth data");
+        assert!(
+            (outcome.best.compression_ratio - 10.0).abs() <= 1.0 + 1e-9,
+            "ratio {}",
+            outcome.best.compression_ratio
+        );
+        assert!(outcome.retrained);
+        assert!(outcome.evaluations >= 1);
+        assert!(outcome.best.quality.is_some());
+        // The recommended bound really is what produced that ratio.
+        let check = search
+            .compressor()
+            .evaluate(&dataset, outcome.error_bound, false)
+            .unwrap();
+        assert!((check.compression_ratio - outcome.best.compression_ratio).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_target_reports_closest_ratio() {
+        let dataset = smooth_field();
+        // A ratio below the codec's effective floor (headers alone prevent
+        // 1.01:1 exactly) is infeasible; FRaZ must say so and return its
+        // closest observation rather than erroring.
+        let config = SearchConfig {
+            tolerance: 0.001,
+            ..quick_config(1.01)
+        };
+        let search = FixedRatioSearch::new(registry::compressor("sz").unwrap(), config);
+        let outcome = search.run(&dataset);
+        assert!(!outcome.feasible);
+        assert!(outcome.best.compression_ratio > 0.0);
+        assert!(!outcome.regions.is_empty());
+    }
+
+    #[test]
+    fn prediction_reuse_skips_training() {
+        let dataset = smooth_field();
+        let search = FixedRatioSearch::new(registry::compressor("sz").unwrap(), quick_config(10.0));
+        let first = search.run(&dataset);
+        assert!(first.feasible);
+        let second = search.run_with_prediction(&dataset, Some(first.error_bound));
+        assert!(second.feasible);
+        assert!(!second.retrained, "prediction should have been reused");
+        assert_eq!(second.evaluations, 1);
+        assert!(second.regions.is_empty());
+    }
+
+    #[test]
+    fn bad_prediction_falls_back_to_training() {
+        let dataset = smooth_field();
+        let search = FixedRatioSearch::new(registry::compressor("sz").unwrap(), quick_config(10.0));
+        let outcome = search.run_with_prediction(&dataset, Some(1e-12));
+        assert!(outcome.retrained, "a useless prediction must trigger training");
+        assert!(outcome.feasible);
+    }
+
+    #[test]
+    fn max_error_bound_is_respected() {
+        let dataset = smooth_field();
+        let range = dataset.stats().value_range();
+        let cap = range * 1e-6;
+        let config = quick_config(200.0).with_max_error(cap);
+        let search = FixedRatioSearch::new(registry::compressor("sz").unwrap(), config);
+        let (_, upper) = search.bound_range(&dataset);
+        assert!(upper <= cap * (1.0 + 1e-9));
+        let outcome = search.run(&dataset);
+        // With such a tight error ceiling a 200:1 ratio is infeasible, and
+        // the recommended bound must never exceed the ceiling.
+        assert!(outcome.error_bound <= cap * (1.0 + 1e-9));
+        assert!(!outcome.feasible);
+    }
+
+    #[test]
+    fn works_with_every_error_bounded_backend() {
+        let dataset = smooth_field();
+        for name in registry::error_bounded_names() {
+            let backend = registry::compressor(name).unwrap();
+            if !backend.supports_dims(&dataset.dims) {
+                continue;
+            }
+            let search = FixedRatioSearch::new(backend, quick_config(8.0));
+            let outcome = search.run(&dataset);
+            assert!(
+                outcome.best.compression_ratio > 1.0,
+                "{name}: ratio {}",
+                outcome.best.compression_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn single_threaded_and_parallel_agree_on_feasibility() {
+        let dataset = smooth_field();
+        let serial = FixedRatioSearch::new(
+            registry::compressor("sz").unwrap(),
+            SearchConfig {
+                threads: 1,
+                ..quick_config(12.0)
+            },
+        )
+        .run(&dataset);
+        let parallel = FixedRatioSearch::new(
+            registry::compressor("sz").unwrap(),
+            SearchConfig {
+                threads: 4,
+                ..quick_config(12.0)
+            },
+        )
+        .run(&dataset);
+        assert_eq!(serial.feasible, parallel.feasible);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = SearchConfig::new(50.0, 0.05)
+            .with_regions(6)
+            .with_threads(3)
+            .with_max_error(0.5);
+        assert_eq!(c.regions, 6);
+        assert_eq!(c.threads, 3);
+        assert_eq!(c.max_error_bound, Some(0.5));
+        assert_eq!(c.worker_count(), 3);
+        assert_eq!(SearchConfig::new(10.0, 0.1).with_regions(0).regions, 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Raw binary I/O in the SDRBench flat-file layout.
+//!
+//! SDRBench distributes each field/time-step as a headerless little-endian
+//! `f32` (occasionally `f64`) file whose shape is documented out-of-band.
+//! These helpers read and write that layout so the synthetic generators and
+//! real archive files are interchangeable inputs to the rest of the
+//! workspace.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::buffer::{DType, DataBuffer};
+use crate::dims::Dims;
+use crate::Dataset;
+
+/// Errors produced while loading or storing raw dataset files.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file size does not match `dims.len() * dtype.byte_width()`.
+    SizeMismatch {
+        expected_bytes: usize,
+        actual_bytes: usize,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::SizeMismatch {
+                expected_bytes,
+                actual_bytes,
+            } => write!(
+                f,
+                "file holds {actual_bytes} bytes but the declared shape needs {expected_bytes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Read a headerless little-endian file into a [`Dataset`] with the given
+/// shape and element type.
+pub fn read_raw(
+    path: impl AsRef<Path>,
+    application: &str,
+    field: &str,
+    timestep: usize,
+    dims: Dims,
+    dtype: DType,
+) -> Result<Dataset, IoError> {
+    let bytes = fs::read(path)?;
+    let expected = dims.len() * dtype.byte_width();
+    if bytes.len() != expected {
+        return Err(IoError::SizeMismatch {
+            expected_bytes: expected,
+            actual_bytes: bytes.len(),
+        });
+    }
+    let buffer = DataBuffer::from_le_bytes(&bytes, dtype).expect("length checked above");
+    Ok(Dataset {
+        application: application.to_string(),
+        field: field.to_string(),
+        timestep,
+        dims,
+        buffer,
+    })
+}
+
+/// Write a dataset back out as a headerless little-endian file (the same
+/// layout [`read_raw`] consumes).
+pub fn write_raw(path: impl AsRef<Path>, dataset: &Dataset) -> Result<(), IoError> {
+    fs::write(path, dataset.buffer.to_le_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fraz_data_io_test_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn roundtrip_f32_file() {
+        let path = temp_path("f32.bin");
+        let values: Vec<f32> = (0..60).map(|i| i as f32 * 0.5).collect();
+        let ds = Dataset::from_f32("hurricane", "TCf", 7, Dims::d3(3, 4, 5), values);
+        write_raw(&path, &ds).unwrap();
+        let back = read_raw(&path, "hurricane", "TCf", 7, Dims::d3(3, 4, 5), DType::F32).unwrap();
+        assert_eq!(back, ds);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn roundtrip_f64_file() {
+        let path = temp_path("f64.bin");
+        let values: Vec<f64> = (0..20).map(|i| (i as f64).sqrt()).collect();
+        let ds = Dataset::from_f64("cesm", "CLDHGH", 0, Dims::d2(4, 5), values);
+        write_raw(&path, &ds).unwrap();
+        let back = read_raw(&path, "cesm", "CLDHGH", 0, Dims::d2(4, 5), DType::F64).unwrap();
+        assert_eq!(back.buffer, ds.buffer);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn size_mismatch_is_reported() {
+        let path = temp_path("bad.bin");
+        std::fs::write(&path, [0u8; 10]).unwrap();
+        let err = read_raw(&path, "a", "b", 0, Dims::d1(4), DType::F32).unwrap_err();
+        assert!(matches!(err, IoError::SizeMismatch { expected_bytes: 16, actual_bytes: 10 }));
+        assert!(err.to_string().contains("16"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_raw(
+            "/definitely/not/a/real/path.f32",
+            "a",
+            "b",
+            0,
+            Dims::d1(4),
+            DType::F32,
+        )
+        .unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+    }
+}

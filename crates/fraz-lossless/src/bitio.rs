@@ -1,0 +1,251 @@
+//! MSB-first bit-level readers and writers.
+//!
+//! Every entropy-coding stage in the workspace (Huffman codes in the SZ-like
+//! codec, the embedded bit-plane coder in the ZFP-like codec, the dictionary
+//! coder in this crate) packs variable-width fields into a byte stream.  The
+//! two types here provide that plumbing with a single convention:
+//! **most-significant-bit first within each byte**, bytes appended in order.
+
+use crate::{CodingError, Result};
+
+/// Accumulates bits MSB-first into a growable byte vector.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits still unused in the final byte of `buf` (0..=7). 0 means the last
+    /// byte is full (or the buffer is empty).
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a writer with `bytes` of pre-reserved capacity.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(bytes),
+            bit_pos: 0,
+        }
+    }
+
+    /// Number of whole bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + (8 - self.bit_pos) as usize
+        }
+    }
+
+    /// Append a single bit (`true` = 1).
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.bit_pos == 0 {
+            self.buf.push(0);
+            self.bit_pos = 8;
+        }
+        self.bit_pos -= 1;
+        if bit {
+            let last = self.buf.len() - 1;
+            self.buf[last] |= 1 << self.bit_pos;
+        }
+        if self.bit_pos == 0 {
+            // Byte complete; next write_bit pushes a new byte.
+        }
+    }
+
+    /// Append the lowest `nbits` bits of `value`, most significant first.
+    ///
+    /// `nbits` may be 0 (no-op) up to 64.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, nbits: u32) {
+        debug_assert!(nbits <= 64);
+        for i in (0..nbits).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Append `count` copies of `bit`.
+    pub fn write_run(&mut self, bit: bool, count: usize) {
+        for _ in 0..count {
+            self.write_bit(bit);
+        }
+    }
+
+    /// Align to the next byte boundary by writing zero bits.
+    pub fn align_byte(&mut self) {
+        if self.bit_pos != 0 {
+            self.bit_pos = 0;
+        }
+    }
+
+    /// Finish writing and return the backing byte vector.  Any partial final
+    /// byte is zero-padded on the low (least significant) side.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes written so far (final byte may be partial).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Index of the next byte to consume.
+    byte_pos: usize,
+    /// Bits remaining in the current byte (8 = untouched, 0 = exhausted).
+    bits_left: u8,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wrap a byte slice for bit-level reading.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self {
+            data,
+            byte_pos: 0,
+            bits_left: 8,
+        }
+    }
+
+    /// Number of bits consumed so far.
+    pub fn bits_consumed(&self) -> usize {
+        if self.byte_pos >= self.data.len() {
+            self.data.len() * 8
+        } else {
+            self.byte_pos * 8 + (8 - self.bits_left) as usize
+        }
+    }
+
+    /// Number of whole bits still available.
+    pub fn bits_remaining(&self) -> usize {
+        self.data.len() * 8 - self.bits_consumed()
+    }
+
+    /// Read one bit, returning `Err(UnexpectedEof)` past the end.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool> {
+        if self.byte_pos >= self.data.len() {
+            return Err(CodingError::UnexpectedEof);
+        }
+        self.bits_left -= 1;
+        let bit = (self.data[self.byte_pos] >> self.bits_left) & 1 == 1;
+        if self.bits_left == 0 {
+            self.byte_pos += 1;
+            self.bits_left = 8;
+        }
+        Ok(bit)
+    }
+
+    /// Read `nbits` bits (MSB first) into the low bits of a `u64`.
+    #[inline]
+    pub fn read_bits(&mut self, nbits: u32) -> Result<u64> {
+        debug_assert!(nbits <= 64);
+        let mut value = 0u64;
+        for _ in 0..nbits {
+            value = (value << 1) | (self.read_bit()? as u64);
+        }
+        Ok(value)
+    }
+
+    /// Skip to the next byte boundary (no-op if already aligned).
+    pub fn align_byte(&mut self) {
+        if self.bits_left != 8 {
+            self.byte_pos += 1;
+            self.bits_left = 8;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let pattern = [true, false, true, true, false, false, true, false, true, true, true];
+        let mut w = BitWriter::new();
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), pattern.len());
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multi_bit_fields_roundtrip() {
+        let fields: &[(u64, u32)] = &[
+            (0, 1),
+            (1, 1),
+            (0b101, 3),
+            (0xdead_beef, 32),
+            (0x1234_5678_9abc_def0, 64),
+            (0, 0),
+            (7, 5),
+        ];
+        let mut w = BitWriter::new();
+        for &(v, n) in fields {
+            w.write_bits(v, n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in fields {
+            assert_eq!(r.read_bits(n).unwrap(), v, "field {v}:{n}");
+        }
+    }
+
+    #[test]
+    fn eof_is_reported() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1010, 4);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8).unwrap(), 0b1010_0000);
+        assert_eq!(r.read_bit(), Err(CodingError::UnexpectedEof));
+    }
+
+    #[test]
+    fn alignment() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.align_byte();
+        w.write_bits(0xab, 8);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1000_0000, 0xab]);
+        let mut r = BitReader::new(&bytes);
+        assert!(r.read_bit().unwrap());
+        r.align_byte();
+        assert_eq!(r.read_bits(8).unwrap(), 0xab);
+    }
+
+    #[test]
+    fn bit_accounting() {
+        let mut w = BitWriter::new();
+        w.write_run(true, 13);
+        assert_eq!(w.bit_len(), 13);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bits_remaining(), 16);
+        r.read_bits(13).unwrap();
+        assert_eq!(r.bits_consumed(), 13);
+        assert_eq!(r.bits_remaining(), 3);
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1100_0001, 8);
+        assert_eq!(w.into_bytes(), vec![0b1100_0001]);
+    }
+}

@@ -1,0 +1,519 @@
+//! Canonical Huffman coding over arbitrary `u32` symbol alphabets.
+//!
+//! The SZ-like codec entropy-codes linear-scaling quantization codes (an
+//! alphabet of up to 2^16 symbols, most of which never occur), and the LZSS
+//! dictionary coder entropy-codes its literal/length and distance alphabets.
+//! Both use this module.
+//!
+//! Codes are *canonical*: only the code length of each used symbol is stored
+//! in the stream; both sides reconstruct identical codes by assigning
+//! consecutive codewords to symbols sorted by `(length, symbol)`.  This keeps
+//! the table overhead proportional to the number of *distinct* symbols rather
+//! than the alphabet size.
+
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::rle;
+use crate::{CodingError, Result};
+
+/// Maximum admissible code length.  Huffman depth grows at most
+/// logarithmically (base golden ratio) in the total symbol count, so 64 bits
+/// covers any realistic input; we still verify it defensively.
+pub const MAX_CODE_LEN: u8 = 64;
+
+/// A canonical Huffman code book mapping symbols to `(length, code)` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct CodeBook {
+    /// `(symbol, code length)` sorted by `(length, symbol)`.
+    lengths: Vec<(u32, u8)>,
+    /// Encoding map: symbol -> (length, canonical code value).
+    codes: HashMap<u32, (u8, u64)>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct HeapNode {
+    weight: u64,
+    /// Tie-break on creation order so the tree shape is deterministic.
+    order: u32,
+    idx: usize,
+}
+
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert to get min-heap behaviour.
+        other
+            .weight
+            .cmp(&self.weight)
+            .then_with(|| other.order.cmp(&self.order))
+    }
+}
+
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl CodeBook {
+    /// Build a code book from `(symbol, frequency)` pairs.  Zero-frequency
+    /// entries are ignored.  An empty or all-zero input yields an empty book.
+    pub fn from_frequencies(freqs: &[(u32, u64)]) -> Self {
+        let mut used: Vec<(u32, u64)> = freqs.iter().copied().filter(|&(_, f)| f > 0).collect();
+        used.sort_unstable_by_key(|&(s, _)| s);
+        used.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                b.1 += a.1;
+                true
+            } else {
+                false
+            }
+        });
+
+        if used.is_empty() {
+            return Self::default();
+        }
+        if used.len() == 1 {
+            // A single distinct symbol still needs one bit so the stream has
+            // a well-defined length.
+            return Self::from_lengths(&[(used[0].0, 1)]).expect("single-symbol book");
+        }
+
+        // Standard heap-based Huffman tree construction over `used`.
+        #[derive(Clone)]
+        struct Node {
+            children: Option<(usize, usize)>,
+            symbol_slot: Option<usize>,
+        }
+        let mut nodes: Vec<Node> = used
+            .iter()
+            .enumerate()
+            .map(|(i, _)| Node {
+                children: None,
+                symbol_slot: Some(i),
+            })
+            .collect();
+        let mut heap = BinaryHeap::with_capacity(used.len());
+        for (i, &(_, f)) in used.iter().enumerate() {
+            heap.push(HeapNode {
+                weight: f,
+                order: i as u32,
+                idx: i,
+            });
+        }
+        let mut order = used.len() as u32;
+        while heap.len() > 1 {
+            let a = heap.pop().expect("heap has >=2 nodes");
+            let b = heap.pop().expect("heap has >=2 nodes");
+            let idx = nodes.len();
+            nodes.push(Node {
+                children: Some((a.idx, b.idx)),
+                symbol_slot: None,
+            });
+            heap.push(HeapNode {
+                weight: a.weight + b.weight,
+                order,
+                idx,
+            });
+            order += 1;
+        }
+        let root = heap.pop().expect("non-empty heap").idx;
+
+        // Depth-first traversal to collect code lengths.
+        let mut lengths = vec![0u8; used.len()];
+        let mut stack = vec![(root, 0u8)];
+        while let Some((idx, depth)) = stack.pop() {
+            match nodes[idx].children {
+                Some((l, r)) => {
+                    stack.push((l, depth + 1));
+                    stack.push((r, depth + 1));
+                }
+                None => {
+                    let slot = nodes[idx].symbol_slot.expect("leaf has a symbol");
+                    lengths[slot] = depth.max(1);
+                }
+            }
+        }
+
+        let pairs: Vec<(u32, u8)> = used
+            .iter()
+            .zip(lengths.iter())
+            .map(|(&(s, _), &l)| (s, l))
+            .collect();
+        Self::from_lengths(&pairs).expect("lengths from a Huffman tree are always valid")
+    }
+
+    /// Count frequencies in `symbols` and build a code book.
+    pub fn from_symbols(symbols: &[u32]) -> Self {
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        for &s in symbols {
+            *counts.entry(s).or_insert(0) += 1;
+        }
+        let freqs: Vec<(u32, u64)> = counts.into_iter().collect();
+        Self::from_frequencies(&freqs)
+    }
+
+    /// Build a canonical code book directly from `(symbol, code length)`
+    /// pairs.  Returns an error if the lengths over-subscribe the code space
+    /// (Kraft inequality violated) or exceed [`MAX_CODE_LEN`].
+    pub fn from_lengths(pairs: &[(u32, u8)]) -> Result<Self> {
+        let mut lengths: Vec<(u32, u8)> = pairs.iter().copied().filter(|&(_, l)| l > 0).collect();
+        if lengths.iter().any(|&(_, l)| l > MAX_CODE_LEN) {
+            return Err(CodingError::InvalidCodeTable(format!(
+                "code length exceeds {MAX_CODE_LEN}"
+            )));
+        }
+        lengths.sort_unstable_by_key(|&(s, l)| (l, s));
+
+        // Kraft check (in 128-bit arithmetic to avoid overflow).
+        let mut kraft: u128 = 0;
+        for &(_, l) in &lengths {
+            kraft += 1u128 << (MAX_CODE_LEN - l);
+        }
+        if kraft > 1u128 << MAX_CODE_LEN {
+            return Err(CodingError::InvalidCodeTable(
+                "code lengths violate the Kraft inequality".to_string(),
+            ));
+        }
+
+        let mut codes = HashMap::with_capacity(lengths.len());
+        let mut code: u64 = 0;
+        let mut prev_len: u8 = 0;
+        for &(sym, len) in &lengths {
+            if prev_len != 0 {
+                code = (code + 1) << (len - prev_len);
+            } else {
+                code <<= len - prev_len;
+            }
+            prev_len = len;
+            codes.insert(sym, (len, code));
+        }
+
+        Ok(Self { lengths, codes })
+    }
+
+    /// True if no symbol has a code (empty input).
+    pub fn is_empty(&self) -> bool {
+        self.lengths.is_empty()
+    }
+
+    /// Number of distinct coded symbols.
+    pub fn len(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Code length for `symbol`, if coded.
+    pub fn code_len(&self, symbol: u32) -> Option<u8> {
+        self.codes.get(&symbol).map(|&(l, _)| l)
+    }
+
+    /// Expected encoded size in bits for the given `(symbol, frequency)`
+    /// histogram (excluding the table).
+    pub fn expected_bits(&self, freqs: &[(u32, u64)]) -> Option<u64> {
+        let mut total = 0u64;
+        for &(s, f) in freqs {
+            if f == 0 {
+                continue;
+            }
+            total += f * self.code_len(s)? as u64;
+        }
+        Some(total)
+    }
+
+    /// Append the code for `symbol` to `w`.
+    pub fn encode_symbol(&self, symbol: u32, w: &mut BitWriter) -> Result<()> {
+        match self.codes.get(&symbol) {
+            Some(&(len, code)) => {
+                w.write_bits(code, len as u32);
+                Ok(())
+            }
+            None => Err(CodingError::InvalidSymbol(symbol)),
+        }
+    }
+
+    /// Serialize the table (distinct symbols and their code lengths).
+    ///
+    /// Layout: varint count, then for each entry a varint symbol delta
+    /// (relative to the previous symbol in ascending-symbol order) and a
+    /// 6-bit code length.
+    pub fn write_table(&self, w: &mut BitWriter) {
+        let mut by_symbol = self.lengths.clone();
+        by_symbol.sort_unstable_by_key(|&(s, _)| s);
+        rle::write_uvarint(w, by_symbol.len() as u64);
+        let mut prev: u64 = 0;
+        for &(sym, len) in &by_symbol {
+            rle::write_uvarint(w, sym as u64 - prev);
+            w.write_bits(len as u64, 6);
+            prev = sym as u64;
+        }
+    }
+
+    /// Deserialize a table produced by [`CodeBook::write_table`].
+    pub fn read_table(r: &mut BitReader<'_>) -> Result<Self> {
+        let count = rle::read_uvarint(r)? as usize;
+        // Guard against absurd counts from corrupted streams.
+        if count > (1 << 28) {
+            return Err(CodingError::InvalidCodeTable(format!(
+                "implausible symbol count {count}"
+            )));
+        }
+        let mut pairs = Vec::with_capacity(count);
+        let mut prev: u64 = 0;
+        for _ in 0..count {
+            let delta = rle::read_uvarint(r)?;
+            let len = r.read_bits(6)? as u8;
+            let sym = prev + delta;
+            if sym > u32::MAX as u64 {
+                return Err(CodingError::InvalidCodeTable("symbol overflow".into()));
+            }
+            if len == 0 || len > MAX_CODE_LEN {
+                return Err(CodingError::InvalidCodeTable(format!(
+                    "invalid code length {len}"
+                )));
+            }
+            pairs.push((sym as u32, len));
+            prev = sym;
+        }
+        Self::from_lengths(&pairs)
+    }
+
+    /// Build a decoder for this code book.
+    pub fn decoder(&self) -> Decoder {
+        Decoder::new(self)
+    }
+}
+
+/// Canonical Huffman decoder using per-length first-code tables.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// For each length `l`, the first canonical code of that length.
+    first_code: Vec<u64>,
+    /// For each length `l`, index into `symbols` of the first symbol with
+    /// that length.
+    first_index: Vec<usize>,
+    /// Number of symbols at each length.
+    count: Vec<usize>,
+    /// Symbols sorted by `(length, symbol)` — canonical order.
+    symbols: Vec<u32>,
+    max_len: u8,
+}
+
+impl Decoder {
+    fn new(book: &CodeBook) -> Self {
+        let max_len = book.lengths.iter().map(|&(_, l)| l).max().unwrap_or(0);
+        let mut first_code = vec![0u64; max_len as usize + 2];
+        let mut first_index = vec![0usize; max_len as usize + 2];
+        let mut count = vec![0usize; max_len as usize + 2];
+        let symbols: Vec<u32> = book.lengths.iter().map(|&(s, _)| s).collect();
+        for &(_, l) in &book.lengths {
+            count[l as usize] += 1;
+        }
+        let mut code = 0u64;
+        let mut index = 0usize;
+        for l in 1..=max_len as usize {
+            code <<= 1;
+            first_code[l] = code;
+            first_index[l] = index;
+            code += count[l] as u64;
+            index += count[l];
+        }
+        Self {
+            first_code,
+            first_index,
+            count,
+            symbols,
+            max_len,
+        }
+    }
+
+    /// Decode one symbol from `r`.
+    pub fn decode_symbol(&self, r: &mut BitReader<'_>) -> Result<u32> {
+        if self.symbols.is_empty() {
+            return Err(CodingError::InvalidCodeTable("empty code book".into()));
+        }
+        let mut code = 0u64;
+        for len in 1..=self.max_len as usize {
+            code = (code << 1) | (r.read_bit()? as u64);
+            let n = self.count[len];
+            if n > 0 {
+                let first = self.first_code[len];
+                if code < first + n as u64 && code >= first {
+                    let offset = (code - first) as usize;
+                    return Ok(self.symbols[self.first_index[len] + offset]);
+                }
+            }
+        }
+        Err(CodingError::InvalidCodeTable(
+            "bit pattern matches no code".into(),
+        ))
+    }
+
+    /// Decode exactly `n` symbols.
+    pub fn decode_all(&self, r: &mut BitReader<'_>, n: usize) -> Result<Vec<u32>> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.decode_symbol(r)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Encode a symbol sequence into a self-contained byte buffer
+/// (count + table + payload).
+pub fn encode_symbols(symbols: &[u32]) -> Vec<u8> {
+    let book = CodeBook::from_symbols(symbols);
+    let mut w = BitWriter::with_capacity(symbols.len() / 2 + 64);
+    rle::write_uvarint(&mut w, symbols.len() as u64);
+    book.write_table(&mut w);
+    for &s in symbols {
+        book.encode_symbol(s, &mut w)
+            .expect("book built from these exact symbols");
+    }
+    w.into_bytes()
+}
+
+/// Decode a buffer produced by [`encode_symbols`].
+pub fn decode_symbols(data: &[u8]) -> Result<Vec<u32>> {
+    let mut r = BitReader::new(data);
+    let n = rle::read_uvarint(&mut r)? as usize;
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let book = CodeBook::read_table(&mut r)?;
+    let decoder = book.decoder();
+    decoder.decode_all(&mut r, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        let packed = encode_symbols(&[]);
+        assert_eq!(decode_symbols(&packed).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn single_symbol_roundtrip() {
+        let symbols = vec![7u32; 1000];
+        let packed = encode_symbols(&symbols);
+        assert!(packed.len() < 200);
+        assert_eq!(decode_symbols(&packed).unwrap(), symbols);
+    }
+
+    #[test]
+    fn skewed_distribution_roundtrip() {
+        let mut symbols = Vec::new();
+        for i in 0..5000u32 {
+            // Heavily skewed toward symbol 512 (like SZ quantization codes).
+            let s = match i % 100 {
+                0..=79 => 512,
+                80..=89 => 511,
+                90..=95 => 513,
+                96..=98 => 500 + (i % 30),
+                _ => i % 1024,
+            };
+            symbols.push(s);
+        }
+        let packed = encode_symbols(&symbols);
+        // Entropy is far below 10 bits/symbol so this must compress well
+        // against the 4-byte raw representation.
+        assert!(packed.len() < symbols.len());
+        assert_eq!(decode_symbols(&packed).unwrap(), symbols);
+    }
+
+    #[test]
+    fn large_sparse_alphabet_roundtrip() {
+        let symbols: Vec<u32> = (0..3000u32).map(|i| (i * 7919) % 60000).collect();
+        let packed = encode_symbols(&symbols);
+        assert_eq!(decode_symbols(&packed).unwrap(), symbols);
+    }
+
+    #[test]
+    fn expected_bits_matches_actual_payload() {
+        let symbols: Vec<u32> = (0..2048u32).map(|i| i % 17).collect();
+        let book = CodeBook::from_symbols(&symbols);
+        let mut freqs: HashMap<u32, u64> = HashMap::new();
+        for &s in &symbols {
+            *freqs.entry(s).or_insert(0) += 1;
+        }
+        let freqs: Vec<(u32, u64)> = freqs.into_iter().collect();
+        let expected = book.expected_bits(&freqs).unwrap();
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            book.encode_symbol(s, &mut w).unwrap();
+        }
+        assert_eq!(expected as usize, w.bit_len());
+    }
+
+    #[test]
+    fn unknown_symbol_is_rejected() {
+        let book = CodeBook::from_symbols(&[1, 2, 3]);
+        let mut w = BitWriter::new();
+        assert_eq!(
+            book.encode_symbol(42, &mut w),
+            Err(CodingError::InvalidSymbol(42))
+        );
+    }
+
+    #[test]
+    fn kraft_violation_is_rejected() {
+        // Three symbols with length 1 cannot coexist.
+        let res = CodeBook::from_lengths(&[(0, 1), (1, 1), (2, 1)]);
+        assert!(matches!(res, Err(CodingError::InvalidCodeTable(_))));
+    }
+
+    #[test]
+    fn table_roundtrip_preserves_codes() {
+        let symbols: Vec<u32> = (0..500u32).map(|i| i % 37).collect();
+        let book = CodeBook::from_symbols(&symbols);
+        let mut w = BitWriter::new();
+        book.write_table(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let book2 = CodeBook::read_table(&mut r).unwrap();
+        assert_eq!(book.len(), book2.len());
+        for s in 0..37u32 {
+            assert_eq!(book.code_len(s), book2.code_len(s));
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error() {
+        let symbols: Vec<u32> = (0..1000u32).map(|i| i % 13).collect();
+        let packed = encode_symbols(&symbols);
+        let truncated = &packed[..packed.len() - 10];
+        assert!(decode_symbols(truncated).is_err());
+    }
+
+    #[test]
+    fn two_symbol_codes_are_one_bit() {
+        let book = CodeBook::from_symbols(&[0, 0, 0, 1]);
+        assert_eq!(book.code_len(0), Some(1));
+        assert_eq!(book.code_len(1), Some(1));
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let symbols: Vec<u32> = (0..4096u32).map(|i| i % 300).collect();
+        let book = CodeBook::from_symbols(&symbols);
+        let mut codes: Vec<(u8, u64)> = (0..300u32)
+            .filter_map(|s| book.codes.get(&s).copied())
+            .collect();
+        codes.sort();
+        for i in 0..codes.len() {
+            for j in (i + 1)..codes.len() {
+                let (l1, c1) = codes[i];
+                let (l2, c2) = codes[j];
+                if l1 == l2 {
+                    assert_ne!(c1, c2);
+                } else {
+                    // No shorter code is a prefix of a longer one.
+                    assert_ne!(c2 >> (l2 - l1), c1, "prefix violation");
+                }
+            }
+        }
+    }
+}

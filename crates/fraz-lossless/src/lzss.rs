@@ -1,0 +1,407 @@
+//! LZSS dictionary coder with hash-chain match search and Huffman-coded
+//! tokens.
+//!
+//! This module plays the role that Gzip/Zstd play as SZ's fourth stage: a
+//! byte-level dictionary encoder applied to the output of the entropy stage.
+//! The design follows the classic DEFLATE recipe, simplified where the full
+//! generality is not needed:
+//!
+//! * a sliding window of [`LzssConfig::window_size`] bytes,
+//! * hash-chain match search over 4-byte anchors with lazy (one-step)
+//!   matching,
+//! * a combined literal/length alphabet (`0..=255` literals, `256 + (len-4)`
+//!   match lengths) and a log2-bucketed distance alphabet, both entropy coded
+//!   with the canonical [`crate::huffman`] coder,
+//! * the decoded length is carried externally (the framed container in
+//!   [`crate::compress`] stores it), so no end-of-block symbol is required.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::huffman::CodeBook;
+use crate::{CodingError, Result};
+
+/// Shortest match worth emitting.
+pub const MIN_MATCH: usize = 4;
+/// Longest representable match.
+pub const MAX_MATCH: usize = 258;
+/// First symbol of the match-length range in the literal/length alphabet.
+const LEN_SYMBOL_BASE: u32 = 256;
+
+/// Tuning knobs for the LZSS encoder.
+#[derive(Debug, Clone)]
+pub struct LzssConfig {
+    /// Sliding-window size in bytes (maximum back-reference distance).
+    pub window_size: usize,
+    /// Maximum number of hash-chain candidates examined per position.
+    pub max_chain: usize,
+    /// Enable one-step lazy matching (defer a match if the next position has
+    /// a longer one).
+    pub lazy: bool,
+}
+
+impl Default for LzssConfig {
+    fn default() -> Self {
+        Self {
+            window_size: 32 * 1024,
+            max_chain: 64,
+            lazy: true,
+        }
+    }
+}
+
+impl LzssConfig {
+    /// A faster, lower-ratio profile used by the codecs when throughput
+    /// matters more than the last few percent of ratio.
+    pub fn fast() -> Self {
+        Self {
+            window_size: 16 * 1024,
+            max_chain: 8,
+            lazy: false,
+        }
+    }
+
+    /// A slower, higher-ratio profile.
+    pub fn high() -> Self {
+        Self {
+            window_size: 64 * 1024,
+            max_chain: 256,
+            lazy: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Token {
+    Literal(u8),
+    Match { length: usize, distance: usize },
+}
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+#[inline]
+fn hash4(data: &[u8], pos: usize) -> usize {
+    let v = u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Length of the common prefix of `data[a..]` and `data[b..]`, capped at
+/// `MAX_MATCH` and at the end of `data`.
+#[inline]
+fn match_length(data: &[u8], a: usize, b: usize) -> usize {
+    let limit = MAX_MATCH.min(data.len() - b);
+    let mut len = 0;
+    while len < limit && data[a + len] == data[b + len] {
+        len += 1;
+    }
+    len
+}
+
+struct Matcher {
+    head: Vec<i64>,
+    prev: Vec<i64>,
+    window: usize,
+    max_chain: usize,
+}
+
+impl Matcher {
+    fn new(len: usize, config: &LzssConfig) -> Self {
+        Self {
+            head: vec![-1; HASH_SIZE],
+            prev: vec![-1; len.max(1)],
+            window: config.window_size,
+            max_chain: config.max_chain,
+        }
+    }
+
+    fn insert(&mut self, data: &[u8], pos: usize) {
+        if pos + MIN_MATCH > data.len() {
+            return;
+        }
+        let h = hash4(data, pos);
+        self.prev[pos] = self.head[h];
+        self.head[h] = pos as i64;
+    }
+
+    /// Best `(length, distance)` match for position `pos`, if any reaches
+    /// `MIN_MATCH`.
+    fn find(&self, data: &[u8], pos: usize) -> Option<(usize, usize)> {
+        if pos + MIN_MATCH > data.len() {
+            return None;
+        }
+        let h = hash4(data, pos);
+        let mut candidate = self.head[h];
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut chain = 0usize;
+        while candidate >= 0 && chain < self.max_chain {
+            let cand = candidate as usize;
+            if pos - cand > self.window {
+                break;
+            }
+            let len = match_length(data, cand, pos);
+            if len > best_len {
+                best_len = len;
+                best_dist = pos - cand;
+                if len >= MAX_MATCH {
+                    break;
+                }
+            }
+            candidate = self.prev[cand];
+            chain += 1;
+        }
+        if best_len >= MIN_MATCH {
+            Some((best_len, best_dist))
+        } else {
+            None
+        }
+    }
+}
+
+fn tokenize(data: &[u8], config: &LzssConfig) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut matcher = Matcher::new(data.len(), config);
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let found = matcher.find(data, pos);
+        match found {
+            Some((mut length, mut distance)) => {
+                if config.lazy && pos + 1 < data.len() {
+                    // Peek one position ahead; if a strictly longer match
+                    // starts there, emit a literal instead and take it next
+                    // iteration (classic lazy matching).
+                    matcher.insert(data, pos);
+                    if let Some((next_len, _)) = matcher.find(data, pos + 1) {
+                        if next_len > length + 1 {
+                            tokens.push(Token::Literal(data[pos]));
+                            pos += 1;
+                            continue;
+                        }
+                    }
+                    // We already inserted `pos`; insert the remainder of the
+                    // match below starting from pos+1.
+                    length = length.min(data.len() - pos);
+                    distance = distance.min(pos);
+                    tokens.push(Token::Match { length, distance });
+                    for p in pos + 1..pos + length {
+                        matcher.insert(data, p);
+                    }
+                    pos += length;
+                    continue;
+                }
+                tokens.push(Token::Match { length, distance });
+                for p in pos..pos + length {
+                    matcher.insert(data, p);
+                }
+                pos += length;
+            }
+            None => {
+                tokens.push(Token::Literal(data[pos]));
+                matcher.insert(data, pos);
+                pos += 1;
+            }
+        }
+    }
+    tokens
+}
+
+#[inline]
+fn distance_slot(distance: usize) -> (u32, u32, u64) {
+    // slot = floor(log2(distance)); extra bits = slot; extra = distance - 2^slot
+    debug_assert!(distance >= 1);
+    let slot = 63 - (distance as u64).leading_zeros();
+    let extra = distance as u64 - (1u64 << slot);
+    (slot, slot, extra)
+}
+
+/// Compress `data` into an LZSS+Huffman payload (no framing header).
+pub fn compress(data: &[u8], config: &LzssConfig) -> Vec<u8> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let tokens = tokenize(data, config);
+
+    // Frequency tables for the two alphabets.
+    let mut litlen_freq: Vec<(u32, u64)> = Vec::new();
+    let mut dist_freq: Vec<(u32, u64)> = Vec::new();
+    {
+        use std::collections::HashMap;
+        let mut lit: HashMap<u32, u64> = HashMap::new();
+        let mut dst: HashMap<u32, u64> = HashMap::new();
+        for t in &tokens {
+            match *t {
+                Token::Literal(b) => {
+                    *lit.entry(b as u32).or_insert(0) += 1;
+                }
+                Token::Match { length, distance } => {
+                    *lit.entry(LEN_SYMBOL_BASE + (length - MIN_MATCH) as u32)
+                        .or_insert(0) += 1;
+                    let (slot, _, _) = distance_slot(distance);
+                    *dst.entry(slot).or_insert(0) += 1;
+                }
+            }
+        }
+        litlen_freq.extend(lit);
+        dist_freq.extend(dst);
+    }
+    let litlen_book = CodeBook::from_frequencies(&litlen_freq);
+    let dist_book = CodeBook::from_frequencies(&dist_freq);
+
+    let mut w = BitWriter::with_capacity(data.len() / 2 + 64);
+    litlen_book.write_table(&mut w);
+    dist_book.write_table(&mut w);
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => {
+                litlen_book
+                    .encode_symbol(b as u32, &mut w)
+                    .expect("literal in book");
+            }
+            Token::Match { length, distance } => {
+                litlen_book
+                    .encode_symbol(LEN_SYMBOL_BASE + (length - MIN_MATCH) as u32, &mut w)
+                    .expect("length in book");
+                let (slot, extra_bits, extra) = distance_slot(distance);
+                dist_book.encode_symbol(slot, &mut w).expect("slot in book");
+                w.write_bits(extra, extra_bits);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decompress an LZSS+Huffman payload produced by [`compress`] into exactly
+/// `expected_len` bytes.
+pub fn decompress(data: &[u8], expected_len: usize) -> Result<Vec<u8>> {
+    if expected_len == 0 {
+        return Ok(Vec::new());
+    }
+    let mut r = BitReader::new(data);
+    let litlen_book = CodeBook::read_table(&mut r)?;
+    let dist_book = CodeBook::read_table(&mut r)?;
+    let litlen_dec = litlen_book.decoder();
+    let dist_dec = if dist_book.is_empty() {
+        None
+    } else {
+        Some(dist_book.decoder())
+    };
+
+    let mut out: Vec<u8> = Vec::with_capacity(expected_len);
+    while out.len() < expected_len {
+        let sym = litlen_dec.decode_symbol(&mut r)?;
+        if sym < LEN_SYMBOL_BASE {
+            out.push(sym as u8);
+        } else {
+            let length = (sym - LEN_SYMBOL_BASE) as usize + MIN_MATCH;
+            let dist_dec = dist_dec
+                .as_ref()
+                .ok_or_else(|| CodingError::InvalidCodeTable("match without distance table".into()))?;
+            let slot = dist_dec.decode_symbol(&mut r)?;
+            if slot > 63 {
+                return Err(CodingError::InvalidSymbol(slot));
+            }
+            let extra = r.read_bits(slot)?;
+            let distance = (1u64 << slot) + extra;
+            let distance = distance as usize;
+            if distance == 0 || distance > out.len() {
+                return Err(CodingError::InvalidBackReference {
+                    distance,
+                    produced: out.len(),
+                });
+            }
+            let start = out.len() - distance;
+            for i in 0..length {
+                let b = out[start + i];
+                out.push(b);
+                if out.len() > expected_len {
+                    return Err(CodingError::LengthMismatch {
+                        expected: expected_len,
+                        actual: out.len(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8], config: &LzssConfig) {
+        let packed = compress(data, config);
+        let restored = decompress(&packed, data.len()).unwrap();
+        assert_eq!(restored, data);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(compress(&[], &LzssConfig::default()).is_empty());
+        assert_eq!(decompress(&[], 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn short_inputs() {
+        for n in 1..=8usize {
+            let data: Vec<u8> = (0..n as u8).collect();
+            roundtrip(&data, &LzssConfig::default());
+        }
+    }
+
+    #[test]
+    fn highly_repetitive_compresses_well() {
+        let data = vec![7u8; 100_000];
+        let packed = compress(&data, &LzssConfig::default());
+        assert!(packed.len() < 2_000, "got {} bytes", packed.len());
+        roundtrip(&data, &LzssConfig::default());
+    }
+
+    #[test]
+    fn periodic_pattern() {
+        let data: Vec<u8> = (0..50_000u32).map(|i| ((i * i) % 251) as u8).collect();
+        roundtrip(&data, &LzssConfig::default());
+    }
+
+    #[test]
+    fn text_like_data() {
+        let data = b"the quick brown fox jumps over the lazy dog. ".repeat(500);
+        let packed = compress(&data, &LzssConfig::default());
+        assert!(packed.len() < data.len() / 5);
+        roundtrip(&data, &LzssConfig::default());
+    }
+
+    #[test]
+    fn overlapping_back_references() {
+        // "aaaa..." forces distance-1 matches that overlap their own output.
+        let mut data = vec![b'a'; 1000];
+        data.extend_from_slice(b"bcd");
+        data.extend(vec![b'a'; 1000]);
+        roundtrip(&data, &LzssConfig::default());
+    }
+
+    #[test]
+    fn all_profiles_roundtrip() {
+        let data: Vec<u8> = (0..30_000u32)
+            .map(|i| ((i / 7) % 256) as u8 ^ ((i % 13) as u8))
+            .collect();
+        for config in [LzssConfig::default(), LzssConfig::fast(), LzssConfig::high()] {
+            roundtrip(&data, &config);
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let data = b"repeat repeat repeat repeat repeat repeat repeat".repeat(20);
+        let packed = compress(&data, &LzssConfig::default());
+        assert!(decompress(&packed[..packed.len() / 3], data.len()).is_err());
+    }
+
+    #[test]
+    fn distance_slots_are_consistent() {
+        for d in [1usize, 2, 3, 4, 7, 8, 255, 256, 1023, 32768] {
+            let (slot, extra_bits, extra) = distance_slot(d);
+            assert_eq!((1usize << slot) + extra as usize, d);
+            assert_eq!(slot, extra_bits);
+        }
+    }
+}

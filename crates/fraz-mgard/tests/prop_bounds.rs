@@ -1,0 +1,82 @@
+//! Property tests for the MGARD-like codec: the ∞-norm guarantee must hold
+//! for arbitrary finite 2-D/3-D data and decompression must never panic.
+
+use proptest::prelude::*;
+
+use fraz_data::{Dataset, Dims};
+use fraz_mgard::{compress, decompress, MgardConfig};
+
+fn max_error(a: &Dataset, b: &Dataset) -> f64 {
+    a.values_f64()
+        .iter()
+        .zip(b.values_f64().iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn infinity_bound_holds_2d(
+        values in proptest::collection::vec(-1e5f32..1e5, 12 * 17),
+        tol_exp in -5i32..2,
+    ) {
+        let tol = 10f64.powi(tol_exp);
+        let original = Dataset::from_f32("prop", "f", 0, Dims::d2(12, 17), values);
+        let packed = compress(&original, &MgardConfig::infinity_norm(tol)).unwrap();
+        let restored = decompress(&packed).unwrap();
+        prop_assert!(max_error(&original, &restored) <= tol);
+        prop_assert_eq!(&restored.dims, &original.dims);
+    }
+
+    #[test]
+    fn infinity_bound_holds_3d(
+        values in proptest::collection::vec(-1e3f32..1e3, 5 * 6 * 7),
+        tol_exp in -4i32..1,
+    ) {
+        let tol = 10f64.powi(tol_exp);
+        let original = Dataset::from_f32("prop", "f", 0, Dims::d3(5, 6, 7), values);
+        let packed = compress(&original, &MgardConfig::infinity_norm(tol)).unwrap();
+        let restored = decompress(&packed).unwrap();
+        prop_assert!(max_error(&original, &restored) <= tol);
+    }
+
+    #[test]
+    fn l2_bound_holds_on_smooth_fields(amp in 0.1f32..100.0, tol_exp in -4i32..0) {
+        let tol = 10f64.powi(tol_exp) * amp as f64;
+        let values: Vec<f32> = (0..32 * 32)
+            .map(|i| amp * (((i % 32) as f32 * 0.2).sin() + ((i / 32) as f32 * 0.1).cos()))
+            .collect();
+        let original = Dataset::from_f32("prop", "f", 0, Dims::d2(32, 32), values);
+        let packed = compress(&original, &MgardConfig::l2_norm(tol)).unwrap();
+        let restored = decompress(&packed).unwrap();
+        let n = original.len() as f64;
+        let rmse = (original
+            .values_f64()
+            .iter()
+            .zip(restored.values_f64().iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / n)
+            .sqrt();
+        prop_assert!(rmse <= tol, "rmse {} tol {}", rmse, tol);
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decompress(&data);
+    }
+}
+
+#[test]
+fn bound_holds_on_synthetic_cesm_field() {
+    let app = fraz_data::synthetic::cesm(48, 96, 2, 3);
+    for field in ["CLDHGH", "FLDSC", "PHIS"] {
+        let original = app.field(field, 1);
+        let tol = (original.stats().value_range() * 1e-3).max(1e-9);
+        let packed = compress(&original, &MgardConfig::infinity_norm(tol)).unwrap();
+        let restored = decompress(&packed).unwrap();
+        assert!(max_error(&original, &restored) <= tol, "{field}");
+    }
+}

@@ -1,0 +1,347 @@
+//! Adapters exposing the workspace codecs through the [`Compressor`] trait.
+
+use fraz_data::{Dataset, Dims};
+use fraz_mgard::{ErrorNorm, MgardConfig};
+use fraz_sz::SzConfig;
+use fraz_zfp::{ZfpConfig, ZfpMode};
+
+use crate::options::Options;
+use crate::{Compressor, PressioError};
+
+/// Smallest error-bound setting offered to the search, as a fraction of the
+/// field's value range (below this the codecs are effectively lossless and
+/// searching finer bounds is pointless).
+const MIN_BOUND_FRACTION: f64 = 1e-9;
+
+fn range_based_bounds(dataset: &Dataset) -> (f64, f64) {
+    let range = dataset.stats().value_range();
+    if range > 0.0 && range.is_finite() {
+        (range * MIN_BOUND_FRACTION, range)
+    } else {
+        // Constant or degenerate field: any tiny positive bound works.
+        (1e-12, 1.0)
+    }
+}
+
+/// SZ-like backend (absolute error bound).
+#[derive(Debug, Clone)]
+pub struct SzBackend {
+    config: SzConfig,
+}
+
+impl SzBackend {
+    /// Backend with default SZ settings.
+    pub fn new() -> Self {
+        Self {
+            config: SzConfig::default(),
+        }
+    }
+
+    /// Backend configured from an options bag (`sz:block_size`,
+    /// `sz:quant_capacity`).
+    pub fn from_options(options: &Options) -> Self {
+        let mut config = SzConfig::default();
+        if let Some(b) = options.get_u64("sz:block_size") {
+            config.block_size = Some(b as usize);
+        }
+        if let Some(c) = options.get_u64("sz:quant_capacity") {
+            config.quant_capacity = c as u32;
+        }
+        Self { config }
+    }
+}
+
+impl Default for SzBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Compressor for SzBackend {
+    fn name(&self) -> &str {
+        "sz"
+    }
+    fn bound_kind(&self) -> &str {
+        "absolute error bound"
+    }
+    fn supports_dims(&self, _dims: &Dims) -> bool {
+        true
+    }
+    fn bound_range(&self, dataset: &Dataset) -> (f64, f64) {
+        range_based_bounds(dataset)
+    }
+    fn compress(&self, dataset: &Dataset, error_bound: f64) -> Result<Vec<u8>, PressioError> {
+        let config = SzConfig {
+            error_bound,
+            ..self.config.clone()
+        };
+        fraz_sz::compress(dataset, &config).map_err(|e| match e {
+            fraz_sz::SzError::InvalidConfig(msg) => PressioError::InvalidBound(msg),
+            other => PressioError::Codec(other.to_string()),
+        })
+    }
+    fn decompress(&self, data: &[u8]) -> Result<Dataset, PressioError> {
+        fraz_sz::decompress(data).map_err(|e| PressioError::Codec(e.to_string()))
+    }
+}
+
+/// ZFP-like backend in fixed-accuracy (error-bounded) mode.
+#[derive(Debug, Clone, Default)]
+pub struct ZfpAccuracyBackend;
+
+impl Compressor for ZfpAccuracyBackend {
+    fn name(&self) -> &str {
+        "zfp"
+    }
+    fn bound_kind(&self) -> &str {
+        "accuracy tolerance"
+    }
+    fn supports_dims(&self, _dims: &Dims) -> bool {
+        true
+    }
+    fn bound_range(&self, dataset: &Dataset) -> (f64, f64) {
+        range_based_bounds(dataset)
+    }
+    fn compress(&self, dataset: &Dataset, error_bound: f64) -> Result<Vec<u8>, PressioError> {
+        fraz_zfp::compress(dataset, &ZfpConfig::accuracy(error_bound)).map_err(|e| match e {
+            fraz_zfp::ZfpError::InvalidConfig(msg) => PressioError::InvalidBound(msg),
+            other => PressioError::Codec(other.to_string()),
+        })
+    }
+    fn decompress(&self, data: &[u8]) -> Result<Dataset, PressioError> {
+        fraz_zfp::decompress(data).map_err(|e| PressioError::Codec(e.to_string()))
+    }
+}
+
+/// ZFP-like backend in fixed-rate mode.
+///
+/// The scalar parameter is the **bits-per-value rate**, not an error bound;
+/// this backend exists as the paper's baseline (Figs 1, 9, 10), not as a
+/// FRaZ search target.
+#[derive(Debug, Clone, Default)]
+pub struct ZfpFixedRateBackend;
+
+impl Compressor for ZfpFixedRateBackend {
+    fn name(&self) -> &str {
+        "zfp-rate"
+    }
+    fn bound_kind(&self) -> &str {
+        "bits per value"
+    }
+    fn supports_dims(&self, _dims: &Dims) -> bool {
+        true
+    }
+    fn bound_range(&self, _dataset: &Dataset) -> (f64, f64) {
+        (0.5, 32.0)
+    }
+    fn compress(&self, dataset: &Dataset, error_bound: f64) -> Result<Vec<u8>, PressioError> {
+        fraz_zfp::compress(
+            dataset,
+            &ZfpConfig {
+                mode: ZfpMode::FixedRate {
+                    bits_per_value: error_bound,
+                },
+            },
+        )
+        .map_err(|e| match e {
+            fraz_zfp::ZfpError::InvalidConfig(msg) => PressioError::InvalidBound(msg),
+            other => PressioError::Codec(other.to_string()),
+        })
+    }
+    fn decompress(&self, data: &[u8]) -> Result<Dataset, PressioError> {
+        fraz_zfp::decompress(data).map_err(|e| PressioError::Codec(e.to_string()))
+    }
+}
+
+/// MGARD-like backend (∞-norm or L2-norm error control; 2-D/3-D only).
+#[derive(Debug, Clone)]
+pub struct MgardBackend {
+    norm: ErrorNorm,
+}
+
+impl MgardBackend {
+    /// ∞-norm (absolute error) backend.
+    pub fn infinity() -> Self {
+        Self {
+            norm: ErrorNorm::Infinity,
+        }
+    }
+
+    /// L2-norm (RMS error) backend.
+    pub fn l2() -> Self {
+        Self {
+            norm: ErrorNorm::L2,
+        }
+    }
+}
+
+impl Compressor for MgardBackend {
+    fn name(&self) -> &str {
+        match self.norm {
+            ErrorNorm::Infinity => "mgard",
+            ErrorNorm::L2 => "mgard-l2",
+        }
+    }
+    fn bound_kind(&self) -> &str {
+        match self.norm {
+            ErrorNorm::Infinity => "infinity-norm bound",
+            ErrorNorm::L2 => "L2-norm bound",
+        }
+    }
+    fn supports_dims(&self, dims: &Dims) -> bool {
+        (2..=3).contains(&dims.ndims())
+    }
+    fn bound_range(&self, dataset: &Dataset) -> (f64, f64) {
+        range_based_bounds(dataset)
+    }
+    fn compress(&self, dataset: &Dataset, error_bound: f64) -> Result<Vec<u8>, PressioError> {
+        if !self.supports_dims(&dataset.dims) {
+            return Err(PressioError::Unsupported(format!(
+                "MGARD-like codec does not support {}-D data",
+                dataset.dims.ndims()
+            )));
+        }
+        let config = MgardConfig {
+            tolerance: error_bound,
+            norm: self.norm,
+        };
+        fraz_mgard::compress(dataset, &config).map_err(|e| match e {
+            fraz_mgard::MgardError::InvalidConfig(msg) => PressioError::InvalidBound(msg),
+            fraz_mgard::MgardError::UnsupportedDimensionality(d) => {
+                PressioError::Unsupported(format!("{d}-D data"))
+            }
+            other => PressioError::Codec(other.to_string()),
+        })
+    }
+    fn decompress(&self, data: &[u8]) -> Result<Dataset, PressioError> {
+        fraz_mgard::decompress(data).map_err(|e| PressioError::Codec(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fraz_data::Dims;
+
+    fn smooth(dims: Dims) -> Dataset {
+        let n = dims.len();
+        let cols = *dims.as_slice().last().unwrap();
+        let values: Vec<f32> = (0..n)
+            .map(|i| {
+                let (r, c) = (i / cols, i % cols);
+                ((c as f32 * 0.1).sin() + (r as f32 * 0.07).cos()) * 10.0
+            })
+            .collect();
+        Dataset::from_f32("t", "f", 0, dims, values)
+    }
+
+    fn max_error(a: &Dataset, b: &Dataset) -> f64 {
+        a.values_f64()
+            .iter()
+            .zip(b.values_f64().iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn error_bounded_backends_roundtrip_within_bound() {
+        let dataset = smooth(Dims::d2(40, 50));
+        let backends: Vec<Box<dyn Compressor>> = vec![
+            Box::new(SzBackend::new()),
+            Box::new(ZfpAccuracyBackend),
+            Box::new(MgardBackend::infinity()),
+        ];
+        for backend in &backends {
+            let outcome = backend.evaluate(&dataset, 1e-3, true).unwrap();
+            let quality = outcome.quality.expect("quality requested");
+            assert!(
+                quality.max_abs_error <= 1e-3,
+                "{}: {}",
+                backend.name(),
+                quality.max_abs_error
+            );
+            assert!(outcome.compression_ratio > 1.0, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_data_through_trait_object() {
+        let dataset = smooth(Dims::d3(8, 12, 12));
+        let backend: Box<dyn Compressor> = Box::new(SzBackend::new());
+        let compressed = backend.compress(&dataset, 1e-4).unwrap();
+        let restored = backend.decompress(&compressed).unwrap();
+        assert!(max_error(&dataset, &restored) <= 1e-4);
+        assert_eq!(restored.dims, dataset.dims);
+    }
+
+    #[test]
+    fn zfp_rate_backend_controls_size_directly() {
+        let dataset = smooth(Dims::d3(8, 16, 16));
+        let backend = ZfpFixedRateBackend;
+        let o4 = backend.evaluate(&dataset, 4.0, false).unwrap();
+        let o8 = backend.evaluate(&dataset, 8.0, false).unwrap();
+        assert!(o4.compressed_bytes < o8.compressed_bytes);
+        // 4 bits/value on 32-bit floats is ~8:1, allowing for the header.
+        assert!((o4.compression_ratio - 8.0).abs() < 1.0, "{}", o4.compression_ratio);
+        assert_eq!(backend.bound_kind(), "bits per value");
+    }
+
+    #[test]
+    fn mgard_backend_rejects_1d() {
+        let dataset = Dataset::from_f32("t", "f", 0, Dims::d1(64), vec![0.0; 64]);
+        let backend = MgardBackend::infinity();
+        assert!(!backend.supports_dims(&dataset.dims));
+        assert!(matches!(
+            backend.compress(&dataset, 1e-3),
+            Err(PressioError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn bound_ranges_are_sane() {
+        let dataset = smooth(Dims::d2(30, 30));
+        for backend in [
+            Box::new(SzBackend::new()) as Box<dyn Compressor>,
+            Box::new(ZfpAccuracyBackend),
+            Box::new(MgardBackend::l2()),
+        ] {
+            let (lo, hi) = backend.bound_range(&dataset);
+            assert!(lo > 0.0 && lo < hi, "{}: ({lo}, {hi})", backend.name());
+            assert!(hi <= dataset.stats().value_range() * 1.001);
+        }
+        // Constant field falls back to a default range.
+        let flat = Dataset::from_f32("t", "f", 0, Dims::d2(4, 4), vec![3.0; 16]);
+        let (lo, hi) = SzBackend::new().bound_range(&flat);
+        assert!(lo > 0.0 && hi > lo);
+    }
+
+    #[test]
+    fn sz_backend_honours_options() {
+        let opts = Options::new()
+            .with("sz:block_size", 4u64)
+            .with("sz:quant_capacity", 1024u64);
+        let backend = SzBackend::from_options(&opts);
+        assert_eq!(backend.config.block_size, Some(4));
+        assert_eq!(backend.config.quant_capacity, 1024);
+        let dataset = smooth(Dims::d2(20, 20));
+        let outcome = backend.evaluate(&dataset, 1e-3, true).unwrap();
+        assert!(outcome.quality.unwrap().max_abs_error <= 1e-3);
+    }
+
+    #[test]
+    fn invalid_bounds_are_invalid_bound_errors() {
+        let dataset = smooth(Dims::d2(10, 10));
+        assert!(matches!(
+            SzBackend::new().compress(&dataset, -1.0),
+            Err(PressioError::InvalidBound(_))
+        ));
+        assert!(matches!(
+            ZfpAccuracyBackend.compress(&dataset, 0.0),
+            Err(PressioError::InvalidBound(_))
+        ));
+        assert!(matches!(
+            ZfpFixedRateBackend.compress(&dataset, 1000.0),
+            Err(PressioError::InvalidBound(_))
+        ));
+    }
+}

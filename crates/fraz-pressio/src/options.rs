@@ -1,0 +1,192 @@
+//! A small typed option system, mirroring libpressio's string-keyed options.
+//!
+//! Libpressio abstracts compressor-specific knobs behind a uniform
+//! `name -> value` interface so generic tools (like FRaZ) can configure any
+//! backend without compile-time knowledge of it.  This module provides the
+//! same mechanism: an [`Options`] bag of typed values with conversion-checked
+//! getters.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A single option value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OptionValue {
+    /// Floating-point option (error bounds, rates, tolerances).
+    F64(f64),
+    /// Unsigned integer option (block sizes, bin counts).
+    U64(u64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free-form string (mode names, norm selection).
+    Str(String),
+}
+
+impl fmt::Display for OptionValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptionValue::F64(v) => write!(f, "{v}"),
+            OptionValue::U64(v) => write!(f, "{v}"),
+            OptionValue::Bool(v) => write!(f, "{v}"),
+            OptionValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<f64> for OptionValue {
+    fn from(v: f64) -> Self {
+        OptionValue::F64(v)
+    }
+}
+impl From<u64> for OptionValue {
+    fn from(v: u64) -> Self {
+        OptionValue::U64(v)
+    }
+}
+impl From<bool> for OptionValue {
+    fn from(v: bool) -> Self {
+        OptionValue::Bool(v)
+    }
+}
+impl From<&str> for OptionValue {
+    fn from(v: &str) -> Self {
+        OptionValue::Str(v.to_string())
+    }
+}
+impl From<String> for OptionValue {
+    fn from(v: String) -> Self {
+        OptionValue::Str(v)
+    }
+}
+
+/// A bag of named options.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Options {
+    values: BTreeMap<String, OptionValue>,
+}
+
+impl Options {
+    /// An empty option set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set (or replace) an option, builder style.
+    pub fn with(mut self, key: &str, value: impl Into<OptionValue>) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Set (or replace) an option.
+    pub fn set(&mut self, key: &str, value: impl Into<OptionValue>) {
+        self.values.insert(key.to_string(), value.into());
+    }
+
+    /// Raw lookup.
+    pub fn get(&self, key: &str) -> Option<&OptionValue> {
+        self.values.get(key)
+    }
+
+    /// Number of options set.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no options are set.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate over `(key, value)` pairs in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &OptionValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Get a floating-point option, converting from integer if needed.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        match self.values.get(key)? {
+            OptionValue::F64(v) => Some(*v),
+            OptionValue::U64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Get an unsigned integer option.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        match self.values.get(key)? {
+            OptionValue::U64(v) => Some(*v),
+            OptionValue::F64(v) if v.fract() == 0.0 && *v >= 0.0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Get a boolean option.
+    pub fn get_bool(&self, key: &str) -> Option<bool> {
+        match self.values.get(key)? {
+            OptionValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Get a string option.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.values.get(key)? {
+            OptionValue::Str(v) => Some(v.as_str()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let opts = Options::new()
+            .with("sz:error_bound", 1e-3)
+            .with("sz:block_size", 6u64)
+            .with("zfp:mode", "accuracy")
+            .with("verbose", true);
+        assert_eq!(opts.get_f64("sz:error_bound"), Some(1e-3));
+        assert_eq!(opts.get_u64("sz:block_size"), Some(6));
+        assert_eq!(opts.get_str("zfp:mode"), Some("accuracy"));
+        assert_eq!(opts.get_bool("verbose"), Some(true));
+        assert_eq!(opts.len(), 4);
+        assert!(!opts.is_empty());
+    }
+
+    #[test]
+    fn missing_and_mistyped_options() {
+        let opts = Options::new().with("a", 1.5);
+        assert_eq!(opts.get_f64("missing"), None);
+        assert_eq!(opts.get_str("a"), None);
+        assert_eq!(opts.get_bool("a"), None);
+        // Integral floats convert to u64, fractional ones do not.
+        assert_eq!(Options::new().with("n", 4.0).get_u64("n"), Some(4));
+        assert_eq!(Options::new().with("n", 4.5).get_u64("n"), None);
+        // Integers widen to f64.
+        assert_eq!(Options::new().with("n", 7u64).get_f64("n"), Some(7.0));
+    }
+
+    #[test]
+    fn overwrite_and_iterate() {
+        let mut opts = Options::new();
+        opts.set("k", 1.0);
+        opts.set("k", 2.0);
+        assert_eq!(opts.get_f64("k"), Some(2.0));
+        opts.set("a", "x");
+        let keys: Vec<&str> = opts.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "k"]);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(OptionValue::from(3.5).to_string(), "3.5");
+        assert_eq!(OptionValue::from("abs").to_string(), "abs");
+        assert_eq!(OptionValue::from(true).to_string(), "true");
+        assert_eq!(OptionValue::from(9u64).to_string(), "9");
+    }
+}

@@ -1,0 +1,91 @@
+//! Name-based construction of compressor backends.
+//!
+//! Libpressio's entry point is `pressio_get_compressor(name)`; this module is
+//! the equivalent.  FRaZ, the examples and the experiment binaries all select
+//! backends by name so a run can be re-pointed at a different codec with a
+//! string change.
+
+use crate::backends::{MgardBackend, SzBackend, ZfpAccuracyBackend, ZfpFixedRateBackend};
+use crate::options::Options;
+use crate::Compressor;
+
+/// Names of every registered backend.
+pub fn names() -> Vec<&'static str> {
+    vec!["sz", "zfp", "zfp-rate", "mgard", "mgard-l2"]
+}
+
+/// Names of the backends usable as FRaZ search targets (error-bounded modes
+/// only; the fixed-rate baseline is excluded).
+pub fn error_bounded_names() -> Vec<&'static str> {
+    vec!["sz", "zfp", "mgard", "mgard-l2"]
+}
+
+/// Construct a backend by name with default settings.
+pub fn compressor(name: &str) -> Option<Box<dyn Compressor>> {
+    compressor_with_options(name, &Options::new())
+}
+
+/// Construct a backend by name, configured from an options bag.
+pub fn compressor_with_options(name: &str, options: &Options) -> Option<Box<dyn Compressor>> {
+    match name {
+        "sz" => Some(Box::new(SzBackend::from_options(options))),
+        "zfp" => Some(Box::new(ZfpAccuracyBackend)),
+        "zfp-rate" => Some(Box::new(ZfpFixedRateBackend)),
+        "mgard" => Some(Box::new(MgardBackend::infinity())),
+        "mgard-l2" => Some(Box::new(MgardBackend::l2())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fraz_data::{Dataset, Dims};
+
+    #[test]
+    fn every_registered_name_constructs() {
+        for name in names() {
+            let c = compressor(name).unwrap_or_else(|| panic!("backend {name} missing"));
+            assert_eq!(c.name(), name);
+        }
+        assert!(compressor("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn error_bounded_subset_excludes_fixed_rate() {
+        let eb = error_bounded_names();
+        assert!(eb.contains(&"sz"));
+        assert!(eb.contains(&"zfp"));
+        assert!(!eb.contains(&"zfp-rate"));
+        for name in eb {
+            assert!(names().contains(&name));
+        }
+    }
+
+    #[test]
+    fn constructed_backends_work_end_to_end() {
+        let values: Vec<f32> = (0..32 * 32)
+            .map(|i| ((i % 32) as f32 * 0.2).sin() * 7.0)
+            .collect();
+        let dataset = Dataset::from_f32("t", "f", 0, Dims::d2(32, 32), values);
+        for name in error_bounded_names() {
+            let backend = compressor(name).unwrap();
+            let outcome = backend.evaluate(&dataset, 1e-2, true).unwrap();
+            assert!(outcome.compression_ratio > 1.0, "{name}");
+            let quality = outcome.quality.unwrap();
+            if name == "mgard-l2" {
+                // The L2 backend bounds the RMS error, not the max error.
+                assert!(quality.rmse <= 1e-2, "{name}: rmse {}", quality.rmse);
+            } else {
+                assert!(quality.max_abs_error <= 1e-2 + 1e-12, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn options_are_forwarded() {
+        let options = Options::new().with("sz:block_size", 8u64);
+        let backend = compressor_with_options("sz", &options).unwrap();
+        assert_eq!(backend.name(), "sz");
+    }
+}

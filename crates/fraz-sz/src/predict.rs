@@ -1,0 +1,264 @@
+//! Data predictors used by the SZ-like codec.
+//!
+//! SZ's compression model predicts every point from its already-processed
+//! neighbourhood and entropy-codes only the quantized prediction error.  Two
+//! predictors are provided, mirroring SZ 2.x's hybrid design:
+//!
+//! * [`lorenzo3`] — the 1-layer Lorenzo predictor, evaluated on *reconstructed*
+//!   values so compressor and decompressor stay bit-identical,
+//! * [`RegressionPlane`] — a per-block linear (hyper-plane) fit on the
+//!   original values, whose four coefficients are stored in the stream.
+//!
+//! Everything operates on grids padded to three dimensions (leading axes of
+//! length 1), which makes the 3-D Lorenzo stencil degrade gracefully to the
+//! 2-D and 1-D forms because out-of-range neighbours contribute zero.
+
+/// Padded 3-D grid description: `[d0, d1, d2]`, slowest first.
+pub type Dims3 = [usize; 3];
+
+/// Value of `grid[z][y][x]` with zero extension outside the domain.
+#[inline]
+fn sample(grid: &[f64], dims: Dims3, z: isize, y: isize, x: isize) -> f64 {
+    if z < 0 || y < 0 || x < 0 {
+        return 0.0;
+    }
+    let (z, y, x) = (z as usize, y as usize, x as usize);
+    if z >= dims[0] || y >= dims[1] || x >= dims[2] {
+        return 0.0;
+    }
+    grid[(z * dims[1] + y) * dims[2] + x]
+}
+
+/// 1-layer Lorenzo prediction of the point at `(z, y, x)` from its
+/// already-reconstructed causal neighbourhood.
+///
+/// In 3-D this is the inclusion–exclusion sum over the seven causal corner
+/// neighbours; with degenerate leading axes it reduces to the classic 2-D
+/// (`a + b - c`) and 1-D (previous value) forms.
+#[inline]
+pub fn lorenzo3(recon: &[f64], dims: Dims3, z: usize, y: usize, x: usize) -> f64 {
+    let (zi, yi, xi) = (z as isize, y as isize, x as isize);
+    sample(recon, dims, zi - 1, yi, xi)
+        + sample(recon, dims, zi, yi - 1, xi)
+        + sample(recon, dims, zi, yi, xi - 1)
+        - sample(recon, dims, zi - 1, yi - 1, xi)
+        - sample(recon, dims, zi - 1, yi, xi - 1)
+        - sample(recon, dims, zi, yi - 1, xi - 1)
+        + sample(recon, dims, zi - 1, yi - 1, xi - 1)
+}
+
+/// A least-squares plane `v ≈ b0 + b1·dz + b2·dy + b3·dx` fitted over one
+/// block (`dz/dy/dx` are coordinates relative to the block origin).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegressionPlane {
+    /// Coefficients `[b0, b1(dz), b2(dy), b3(dx)]`.
+    pub coeffs: [f64; 4],
+}
+
+impl RegressionPlane {
+    /// Fit the plane to the original values of one block.
+    ///
+    /// `block` iterates the block's values in raster order together with
+    /// their local `(dz, dy, dx)` coordinates.  A tiny ridge term keeps the
+    /// normal equations solvable for degenerate blocks (single row/column).
+    pub fn fit(points: &[( [usize; 3], f64 )]) -> Self {
+        // Normal equations A^T A b = A^T v with A rows [1, dz, dy, dx].
+        let mut ata = [[0.0f64; 4]; 4];
+        let mut atv = [0.0f64; 4];
+        for &(c, v) in points {
+            let row = [1.0, c[0] as f64, c[1] as f64, c[2] as f64];
+            for i in 0..4 {
+                atv[i] += row[i] * v;
+                for j in 0..4 {
+                    ata[i][j] += row[i] * row[j];
+                }
+            }
+        }
+        let ridge = 1e-9 * points.len().max(1) as f64;
+        for (i, row) in ata.iter_mut().enumerate() {
+            row[i] += ridge;
+        }
+        let coeffs = solve4(ata, atv);
+        Self { coeffs }
+    }
+
+    /// Reconstruct a plane from stored (f32-rounded) coefficients.
+    pub fn from_coeffs(coeffs: [f64; 4]) -> Self {
+        Self { coeffs }
+    }
+
+    /// Round the coefficients to `f32` precision, exactly as they will be
+    /// stored in the stream, so compressor and decompressor predict from the
+    /// same numbers.
+    pub fn quantized(&self) -> Self {
+        Self {
+            coeffs: [
+                self.coeffs[0] as f32 as f64,
+                self.coeffs[1] as f32 as f64,
+                self.coeffs[2] as f32 as f64,
+                self.coeffs[3] as f32 as f64,
+            ],
+        }
+    }
+
+    /// Predict the value at local coordinates `(dz, dy, dx)`.
+    #[inline]
+    pub fn predict(&self, dz: usize, dy: usize, dx: usize) -> f64 {
+        self.coeffs[0]
+            + self.coeffs[1] * dz as f64
+            + self.coeffs[2] * dy as f64
+            + self.coeffs[3] * dx as f64
+    }
+}
+
+/// Solve a 4x4 linear system with partial pivoting.  Singular (or nearly
+/// singular) pivots yield zero for the remaining unknowns, which simply
+/// disables the corresponding term of the plane.
+fn solve4(mut a: [[f64; 4]; 4], mut b: [f64; 4]) -> [f64; 4] {
+    let n = 4;
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        for row in col + 1..n {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-30 {
+            continue;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate.
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = [0.0f64; 4];
+    for col in (0..n).rev() {
+        if a[col][col].abs() < 1e-30 {
+            x[col] = 0.0;
+            continue;
+        }
+        let mut sum = b[col];
+        for k in col + 1..n {
+            sum -= a[col][k] * x[k];
+        }
+        x[col] = sum / a[col][col];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lorenzo_1d_is_previous_value() {
+        let dims = [1, 1, 5];
+        let recon = vec![1.0, 2.0, 3.0, 0.0, 0.0];
+        assert_eq!(lorenzo3(&recon, dims, 0, 0, 0), 0.0);
+        assert_eq!(lorenzo3(&recon, dims, 0, 0, 3), 3.0);
+    }
+
+    #[test]
+    fn lorenzo_2d_is_a_plus_b_minus_c() {
+        let dims = [1, 2, 3];
+        // grid: [[1, 2, 3], [4, ?, ?]]
+        let recon = vec![1.0, 2.0, 3.0, 4.0, 0.0, 0.0];
+        // predict (y=1, x=1): left(4) + up(2) - diag(1) = 5.
+        assert_eq!(lorenzo3(&recon, dims, 0, 1, 1), 5.0);
+    }
+
+    #[test]
+    fn lorenzo_3d_is_exact_for_linear_fields() {
+        // A perfectly linear field is predicted exactly by the Lorenzo
+        // stencil (away from the boundary).
+        let dims = [4, 4, 4];
+        let f = |z: usize, y: usize, x: usize| 2.0 * z as f64 - 3.0 * y as f64 + 0.5 * x as f64 + 7.0;
+        let mut grid = vec![0.0; 64];
+        for z in 0..4 {
+            for y in 0..4 {
+                for x in 0..4 {
+                    grid[(z * 4 + y) * 4 + x] = f(z, y, x);
+                }
+            }
+        }
+        for z in 1..4 {
+            for y in 1..4 {
+                for x in 1..4 {
+                    let pred = lorenzo3(&grid, dims, z, y, x);
+                    assert!((pred - f(z, y, x)).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn regression_recovers_exact_plane() {
+        let truth = [5.0, 1.5, -2.0, 0.25];
+        let mut points = Vec::new();
+        for dz in 0..6 {
+            for dy in 0..6 {
+                for dx in 0..6 {
+                    let v = truth[0] + truth[1] * dz as f64 + truth[2] * dy as f64 + truth[3] * dx as f64;
+                    points.push(([dz, dy, dx], v));
+                }
+            }
+        }
+        let plane = RegressionPlane::fit(&points);
+        for (c, t) in plane.coeffs.iter().zip(truth.iter()) {
+            assert!((c - t).abs() < 1e-6, "{:?} vs {:?}", plane.coeffs, truth);
+        }
+        assert!((plane.predict(2, 3, 4) - (5.0 + 3.0 - 6.0 + 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn regression_handles_degenerate_blocks() {
+        // A single row (1-D block): dy and dz columns are constant zero.
+        let points: Vec<([usize; 3], f64)> =
+            (0..8).map(|dx| ([0, 0, dx], 3.0 + 2.0 * dx as f64)).collect();
+        let plane = RegressionPlane::fit(&points);
+        assert!((plane.predict(0, 0, 5) - 13.0).abs() < 1e-6);
+        // A single point.
+        let plane = RegressionPlane::fit(&[([0, 0, 0], 42.0)]);
+        assert!((plane.predict(0, 0, 0) - 42.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quantized_coeffs_match_f32_storage() {
+        let plane = RegressionPlane::fit(&[
+            ([0, 0, 0], 1.000000123),
+            ([0, 0, 1], 2.000000456),
+            ([0, 1, 0], 3.1),
+            ([1, 0, 0], 4.7),
+        ]);
+        let q = plane.quantized();
+        for (orig, stored) in plane.coeffs.iter().zip(q.coeffs.iter()) {
+            assert_eq!(*stored, *orig as f32 as f64);
+        }
+    }
+
+    #[test]
+    fn solve4_on_identity() {
+        let a = [
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ];
+        assert_eq!(solve4(a, [1.0, 2.0, 3.0, 4.0]), [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve4_singular_does_not_blow_up() {
+        let a = [[0.0; 4]; 4];
+        let x = solve4(a, [1.0, 2.0, 3.0, 4.0]);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the SZ-like codec's core invariants:
+//! every roundtrip respects the absolute error bound, preserves shape and
+//! metadata, and never panics on valid input.
+
+use proptest::prelude::*;
+
+use fraz_data::{Dataset, Dims};
+use fraz_sz::{compress, decompress, SzConfig};
+
+fn max_error(a: &Dataset, b: &Dataset) -> f64 {
+    a.values_f64()
+        .iter()
+        .zip(b.values_f64().iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Strategy: smooth-ish 1-D field with random amplitude/frequency plus noise.
+fn field_values(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    (
+        proptest::collection::vec(-1.0f32..1.0, n),
+        0.001f32..100.0,
+        0.001f32..0.5,
+    )
+        .prop_map(move |(noise, amp, freq)| {
+            (0..n)
+                .map(|i| (i as f32 * freq).sin() * amp + noise[i] * amp * 0.01)
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn error_bound_holds_1d(values in field_values(1200), eb in 1e-6f64..1.0) {
+        let original = Dataset::from_f32("prop", "f", 0, Dims::d1(1200), values);
+        let compressed = compress(&original, &SzConfig::with_error_bound(eb)).unwrap();
+        let restored = decompress(&compressed).unwrap();
+        prop_assert!(max_error(&original, &restored) <= eb);
+        prop_assert_eq!(restored.len(), original.len());
+        prop_assert_eq!(&restored.dims, &original.dims);
+    }
+
+    #[test]
+    fn error_bound_holds_3d(values in field_values(11 * 13 * 7), eb in 1e-5f64..0.5) {
+        let original = Dataset::from_f32("prop", "f", 1, Dims::d3(11, 13, 7), values);
+        let compressed = compress(&original, &SzConfig::with_error_bound(eb)).unwrap();
+        let restored = decompress(&compressed).unwrap();
+        prop_assert!(max_error(&original, &restored) <= eb);
+    }
+
+    #[test]
+    fn arbitrary_values_never_violate_bound(
+        values in proptest::collection::vec(proptest::num::f32::NORMAL, 64..512),
+        eb in 1e-8f64..1e3,
+    ) {
+        // Completely unstructured (but finite) data: the codec may fail to
+        // compress it, but it must never violate the bound or panic.
+        let n = values.len();
+        let original = Dataset::from_f32("prop", "rand", 0, Dims::d1(n), values);
+        let compressed = compress(&original, &SzConfig::with_error_bound(eb)).unwrap();
+        let restored = decompress(&compressed).unwrap();
+        prop_assert!(max_error(&original, &restored) <= eb);
+    }
+
+    #[test]
+    fn compressed_stream_is_self_describing(values in field_values(600), t in 0usize..100) {
+        let original = Dataset::from_f32("hurricane", "CLOUDf", t, Dims::d2(20, 30), values);
+        let compressed = compress(&original, &SzConfig::default()).unwrap();
+        let restored = decompress(&compressed).unwrap();
+        prop_assert_eq!(restored.application, "hurricane");
+        prop_assert_eq!(restored.field, "CLOUDf");
+        prop_assert_eq!(restored.timestep, t);
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decompress(&data);
+    }
+}
+
+#[test]
+fn error_bound_holds_on_synthetic_hurricane_field() {
+    let app = fraz_data::synthetic::hurricane(8, 16, 16, 2, 7);
+    for field in ["TCf", "CLOUDf", "QCLOUDf.log10"] {
+        let original = app.field(field, 0);
+        for eb in [1e-1, 1e-3] {
+            let compressed = compress(&original, &SzConfig::with_error_bound(eb)).unwrap();
+            let restored = decompress(&compressed).unwrap();
+            assert!(
+                max_error(&original, &restored) <= eb,
+                "field {field}, eb {eb}"
+            );
+        }
+    }
+}

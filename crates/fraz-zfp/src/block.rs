@@ -1,0 +1,217 @@
+//! Block gather/scatter and block-floating-point conversion.
+//!
+//! ZFP partitions the grid into 4^d blocks, converts each block to a common
+//! power-of-two scale (the block exponent) and represents the scaled values
+//! as fixed-point integers before transforming and coding them.  Partial
+//! blocks at the domain boundary are padded by edge replication; the decoder
+//! simply ignores the padded lanes when scattering values back.
+
+use crate::transform::BLOCK_EDGE;
+
+/// Number of fraction bits in the fixed-point representation (ZFP's
+/// `intprec - 2`, leaving two guard bits for transform growth).
+pub const FIXED_POINT_FRACTION_BITS: i32 = 62;
+
+/// Enumerate block origins over the active (non-degenerate) axes of a padded
+/// 3-D grid, in raster order.
+pub fn block_origins(dims: [usize; 3]) -> Vec<[usize; 3]> {
+    let step = |len: usize| -> Vec<usize> {
+        let mut starts = Vec::new();
+        let mut s = 0;
+        while s < len {
+            starts.push(s);
+            s += BLOCK_EDGE;
+        }
+        starts
+    };
+    let mut origins = Vec::new();
+    for &z in &step(dims[0]) {
+        for &y in &step(dims[1]) {
+            for &x in &step(dims[2]) {
+                origins.push([z, y, x]);
+            }
+        }
+    }
+    origins
+}
+
+/// Gather a full 4^d block starting at `origin`, replicating edge values to
+/// pad partial blocks.  `block_dims` is the dataset dimensionality (1–3).
+pub fn gather(
+    values: &[f64],
+    dims: [usize; 3],
+    origin: [usize; 3],
+    block_dims: usize,
+) -> Vec<f64> {
+    let n = BLOCK_EDGE.pow(block_dims as u32);
+    let mut block = vec![0.0; n];
+    let extent = |axis: usize| BLOCK_EDGE.min(dims[axis] - origin[axis]);
+    let (ez, ey, ex) = (extent(0), extent(1), extent(2));
+    for i in 0..n {
+        let (lx, ly, lz) = local_coords(i, block_dims);
+        // Clamp padded lanes onto the last valid sample (edge replication).
+        let cz = origin[0] + lz.min(ez.saturating_sub(1));
+        let cy = origin[1] + ly.min(ey.saturating_sub(1));
+        let cx = origin[2] + lx.min(ex.saturating_sub(1));
+        block[i] = values[(cz * dims[1] + cy) * dims[2] + cx];
+    }
+    block
+}
+
+/// Scatter a decoded block back into the grid, skipping padded lanes.
+pub fn scatter(
+    block: &[f64],
+    values: &mut [f64],
+    dims: [usize; 3],
+    origin: [usize; 3],
+    block_dims: usize,
+) {
+    let n = BLOCK_EDGE.pow(block_dims as u32);
+    let extent = |axis: usize| BLOCK_EDGE.min(dims[axis] - origin[axis]);
+    let (ez, ey, ex) = (extent(0), extent(1), extent(2));
+    for i in 0..n {
+        let (lx, ly, lz) = local_coords(i, block_dims);
+        if lz >= ez || ly >= ey || lx >= ex {
+            continue;
+        }
+        let idx = ((origin[0] + lz) * dims[1] + origin[1] + ly) * dims[2] + origin[2] + lx;
+        values[idx] = block[i];
+    }
+}
+
+/// Local `(x, y, z)` coordinates of block lane `i` for the given block
+/// dimensionality (x fastest).
+#[inline]
+pub fn local_coords(i: usize, block_dims: usize) -> (usize, usize, usize) {
+    match block_dims {
+        1 => (i, 0, 0),
+        2 => (i % BLOCK_EDGE, i / BLOCK_EDGE, 0),
+        _ => (
+            i % BLOCK_EDGE,
+            (i / BLOCK_EDGE) % BLOCK_EDGE,
+            i / (BLOCK_EDGE * BLOCK_EDGE),
+        ),
+    }
+}
+
+/// The block exponent: the smallest `e` such that every `|v| < 2^e`.
+/// Returns `None` for an all-zero (or all-subnormal-zero) block.
+pub fn block_exponent(block: &[f64]) -> Option<i32> {
+    let max = block.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    if max == 0.0 || !max.is_finite() {
+        return None;
+    }
+    // frexp-style exponent: max = m * 2^e with 0.5 <= m < 1.
+    let e = max.log2().floor() as i32 + 1;
+    // Guard against log2 rounding at exact powers of two.
+    let e = if max >= (2.0f64).powi(e) { e + 1 } else { e };
+    let e = if max < (2.0f64).powi(e - 1) { e - 1 } else { e };
+    Some(e)
+}
+
+/// Convert block values to fixed-point integers at the given block exponent.
+pub fn to_ints(block: &[f64], emax: i32) -> Vec<i64> {
+    let scale = (2.0f64).powi(FIXED_POINT_FRACTION_BITS - emax);
+    block
+        .iter()
+        .map(|&v| {
+            let s = v * scale;
+            // Saturate defensively (cannot trigger when emax was computed
+            // from this block, but keeps the conversion total).
+            s.clamp(-(2.0f64.powi(62)), 2.0f64.powi(62)) as i64
+        })
+        .collect()
+}
+
+/// Convert fixed-point integers back to floating point.
+pub fn from_ints(ints: &[i64], emax: i32) -> Vec<f64> {
+    let scale = (2.0f64).powi(emax - FIXED_POINT_FRACTION_BITS);
+    ints.iter().map(|&i| i as f64 * scale).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origins_cover_partial_grids() {
+        let origins = block_origins([1, 6, 9]);
+        // 1 x ceil(6/4) x ceil(9/4) = 1 * 2 * 3.
+        assert_eq!(origins.len(), 6);
+        assert_eq!(origins[0], [0, 0, 0]);
+        assert!(origins.contains(&[0, 4, 8]));
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_full_blocks() {
+        let dims = [4, 8, 8];
+        let values: Vec<f64> = (0..dims[0] * dims[1] * dims[2]).map(|i| i as f64).collect();
+        let mut restored = vec![0.0; values.len()];
+        for origin in block_origins(dims) {
+            let block = gather(&values, dims, origin, 3);
+            scatter(&block, &mut restored, dims, origin, 3);
+        }
+        assert_eq!(restored, values);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_partial_blocks() {
+        for dims in [[1, 1, 13], [1, 7, 9], [5, 6, 7]] {
+            let block_dims = if dims[0] > 1 {
+                3
+            } else if dims[1] > 1 {
+                2
+            } else {
+                1
+            };
+            let n = dims[0] * dims[1] * dims[2];
+            let values: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+            let mut restored = vec![0.0; n];
+            for origin in block_origins(dims) {
+                let block = gather(&values, dims, origin, block_dims);
+                scatter(&block, &mut restored, dims, origin, block_dims);
+            }
+            assert_eq!(restored, values, "dims {dims:?}");
+        }
+    }
+
+    #[test]
+    fn padding_replicates_edges() {
+        // 1-D grid of 5 values, second block covers indices 4..8 -> lanes
+        // 1..3 replicate index 4.
+        let values = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let block = gather(&values, [1, 1, 5], [0, 0, 4], 1);
+        assert_eq!(block, vec![5.0, 5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn block_exponent_brackets_magnitude() {
+        for &(v, expected) in &[(1.0, 1), (0.5, 0), (0.75, 0), (3.9, 2), (4.0, 3), (1e-3, -9)] {
+            let e = block_exponent(&[v, -v / 2.0, 0.0]).unwrap();
+            assert_eq!(e, expected, "value {v}");
+            assert!(v.abs() < (2.0f64).powi(e));
+            assert!(v.abs() >= (2.0f64).powi(e - 1));
+        }
+        assert_eq!(block_exponent(&[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn fixed_point_roundtrip_is_accurate() {
+        let block: Vec<f64> = (0..64).map(|i| ((i as f64) * 0.37 - 11.0).sin() * 123.456).collect();
+        let emax = block_exponent(&block).unwrap();
+        let ints = to_ints(&block, emax);
+        let back = from_ints(&ints, emax);
+        for (a, b) in block.iter().zip(back.iter()) {
+            // Quantization step is 2^(emax-62) — far below f64 noise here.
+            assert!((a - b).abs() <= (2.0f64).powi(emax - 60), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn local_coords_are_consistent() {
+        assert_eq!(local_coords(5, 1), (5, 0, 0));
+        assert_eq!(local_coords(5, 2), (1, 1, 0));
+        assert_eq!(local_coords(21, 3), (1, 1, 1));
+        assert_eq!(local_coords(63, 3), (3, 3, 3));
+    }
+}

@@ -1,0 +1,277 @@
+//! Negabinary conversion and embedded bit-plane coding of block
+//! coefficients.
+//!
+//! This mirrors ZFP's `encode_ints` / `decode_ints`: transform coefficients
+//! are mapped from two's complement to negabinary (so magnitude ordering is
+//! monotone in the unsigned representation), then bit planes are emitted from
+//! most to least significant with a group-testing scheme that spends very few
+//! bits on planes where most coefficients are still insignificant.  Both the
+//! per-block bit budget (`max_bits`, used by the fixed-rate mode) and the
+//! per-block precision (`max_prec`, used by the fixed-accuracy mode) limit
+//! how much of each block is emitted.
+
+use fraz_lossless::bitio::{BitReader, BitWriter};
+use fraz_lossless::Result;
+
+/// Number of bit planes in the integer representation.
+pub const INT_PRECISION: u32 = 64;
+
+const NEGABINARY_MASK: u64 = 0xaaaa_aaaa_aaaa_aaaa;
+
+/// Map a two's-complement integer to negabinary.
+#[inline]
+pub fn int_to_uint(x: i64) -> u64 {
+    ((x as u64).wrapping_add(NEGABINARY_MASK)) ^ NEGABINARY_MASK
+}
+
+/// Inverse of [`int_to_uint`].
+#[inline]
+pub fn uint_to_int(x: u64) -> i64 {
+    ((x ^ NEGABINARY_MASK).wrapping_sub(NEGABINARY_MASK)) as i64
+}
+
+#[inline]
+fn write_bits_lsb(w: &mut BitWriter, x: u64, n: u64) {
+    for i in 0..n {
+        w.write_bit((x >> i) & 1 == 1);
+    }
+}
+
+#[inline]
+fn read_bits_lsb(r: &mut BitReader<'_>, n: u64) -> Result<u64> {
+    let mut x = 0u64;
+    for i in 0..n {
+        if r.read_bit()? {
+            x |= 1 << i;
+        }
+    }
+    Ok(x)
+}
+
+/// Encode up to `max_prec` bit planes of `data` (negabinary coefficients in
+/// sequency order), spending at most `max_bits` bits.  Returns the number of
+/// bits written.
+pub fn encode_ints(w: &mut BitWriter, data: &[u64], max_bits: u64, max_prec: u32) -> u64 {
+    let size = data.len();
+    debug_assert!(size <= 64, "blocks never exceed 4^3 coefficients");
+    let kmin = if INT_PRECISION > max_prec {
+        (INT_PRECISION - max_prec) as i64
+    } else {
+        0
+    };
+    let mut bits = max_bits;
+    let mut n: usize = 0;
+    let mut k = INT_PRECISION as i64;
+    while bits > 0 && k > kmin {
+        k -= 1;
+        // Step 1: gather bit plane k into x (coefficient i -> bit i).
+        let mut x: u64 = 0;
+        for (i, &d) in data.iter().enumerate() {
+            x |= ((d >> k) & 1) << i;
+        }
+        // Step 2: verbatim-encode the bits of coefficients already known to
+        // be significant.
+        let m = (n as u64).min(bits);
+        bits -= m;
+        write_bits_lsb(w, x, m);
+        x = if m >= 64 { 0 } else { x >> m };
+        // Step 3: group-test / unary encode the remainder of the plane.
+        loop {
+            if !(n < size && bits > 0) {
+                break;
+            }
+            bits -= 1;
+            let group = x != 0;
+            w.write_bit(group);
+            if !group {
+                break;
+            }
+            // Inner loop: emit coefficient bits until the set bit is found.
+            loop {
+                if !(n < size - 1 && bits > 0) {
+                    break;
+                }
+                bits -= 1;
+                let bit = x & 1 == 1;
+                w.write_bit(bit);
+                if bit {
+                    break;
+                }
+                x >>= 1;
+                n += 1;
+            }
+            x >>= 1;
+            n += 1;
+        }
+    }
+    max_bits - bits
+}
+
+/// Decode the bit planes written by [`encode_ints`] with identical
+/// parameters.  Returns the coefficients and the number of bits consumed.
+pub fn decode_ints(
+    r: &mut BitReader<'_>,
+    size: usize,
+    max_bits: u64,
+    max_prec: u32,
+) -> Result<(Vec<u64>, u64)> {
+    debug_assert!(size <= 64);
+    let kmin = if INT_PRECISION > max_prec {
+        (INT_PRECISION - max_prec) as i64
+    } else {
+        0
+    };
+    let mut data = vec![0u64; size];
+    let mut bits = max_bits;
+    let mut n: usize = 0;
+    let mut k = INT_PRECISION as i64;
+    while bits > 0 && k > kmin {
+        k -= 1;
+        let m = (n as u64).min(bits);
+        bits -= m;
+        let mut x = read_bits_lsb(r, m)?;
+        // Group-test / unary decode the remainder of the plane.
+        loop {
+            if !(n < size && bits > 0) {
+                break;
+            }
+            bits -= 1;
+            let group = r.read_bit()?;
+            if !group {
+                break;
+            }
+            loop {
+                if !(n < size - 1 && bits > 0) {
+                    break;
+                }
+                bits -= 1;
+                let bit = r.read_bit()?;
+                if bit {
+                    break;
+                }
+                n += 1;
+            }
+            x |= 1u64 << n;
+            n += 1;
+        }
+        // Deposit the plane.
+        let mut plane = x;
+        let mut i = 0;
+        while plane != 0 {
+            data[i] |= (plane & 1) << k;
+            plane >>= 1;
+            i += 1;
+        }
+    }
+    Ok((data, max_bits - bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negabinary_roundtrip() {
+        for v in [0i64, 1, -1, 2, -2, 1234567, -987654321, i64::MAX / 2, i64::MIN / 2] {
+            assert_eq!(uint_to_int(int_to_uint(v)), v);
+        }
+    }
+
+    #[test]
+    fn negabinary_magnitude_monotonicity() {
+        // Small-magnitude integers map to small negabinary codes, which is
+        // what makes dropping low bit planes a graceful degradation.
+        assert!(int_to_uint(0) < int_to_uint(1000));
+        assert!(int_to_uint(3).leading_zeros() > int_to_uint(1 << 40).leading_zeros());
+    }
+
+    fn roundtrip(data: &[u64], max_bits: u64, max_prec: u32) -> (Vec<u64>, u64, u64) {
+        let mut w = BitWriter::new();
+        let written = encode_ints(&mut w, data, max_bits, max_prec);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let (decoded, consumed) = decode_ints(&mut r, data.len(), max_bits, max_prec).unwrap();
+        (decoded, written, consumed)
+    }
+
+    #[test]
+    fn lossless_roundtrip_with_full_budget() {
+        let data: Vec<u64> = (0..64u64).map(|i| int_to_uint((i as i64 - 32) << 33)).collect();
+        let (decoded, written, consumed) = roundtrip(&data, u64::MAX / 2, 64);
+        assert_eq!(decoded, data);
+        assert_eq!(written, consumed);
+    }
+
+    #[test]
+    fn all_zero_block_costs_few_bits() {
+        let data = vec![0u64; 64];
+        let (decoded, written, _) = roundtrip(&data, u64::MAX / 2, 64);
+        assert_eq!(decoded, data);
+        // One group-test bit per plane.
+        assert_eq!(written, 64);
+    }
+
+    #[test]
+    fn truncated_precision_zeroes_low_planes() {
+        let data: Vec<u64> = (0..16u64).map(|i| (i * 0x0123_4567) | 1).collect();
+        let (decoded, _, _) = roundtrip(&data, u64::MAX / 2, 32);
+        for (d, o) in decoded.iter().zip(data.iter()) {
+            // Upper 32 planes must match exactly; lower ones are zeroed.
+            assert_eq!(d >> 32, o >> 32);
+            assert_eq!(d & 0xffff_ffff & !(u64::MAX << 32), d & 0xffff_ffff);
+        }
+    }
+
+    #[test]
+    fn bit_budget_is_respected_and_consistent() {
+        let data: Vec<u64> = (0..64u64).map(|i| int_to_uint(((i * i) as i64) << 40)).collect();
+        for budget in [16u64, 64, 256, 1024] {
+            let mut w = BitWriter::new();
+            let written = encode_ints(&mut w, &data, budget, 64);
+            assert!(written <= budget);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            let (decoded, consumed) = decode_ints(&mut r, data.len(), budget, 64).unwrap();
+            assert_eq!(consumed, written, "budget {budget}");
+            // Reconstruction error must shrink as the budget grows.
+            let err: i64 = decoded
+                .iter()
+                .zip(data.iter())
+                .map(|(&d, &o)| (uint_to_int(d) - uint_to_int(o)).abs())
+                .max()
+                .unwrap();
+            if budget >= 1024 {
+                assert_eq!(err, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_budget_never_increases_error() {
+        let data: Vec<u64> = (0..64u64)
+            .map(|i| int_to_uint((((i * 2654435761) as i64) % (1 << 45)) - (1 << 44)))
+            .collect();
+        let mut prev_err = i64::MAX;
+        for budget in [32u64, 512, 8192] {
+            let (decoded, _, _) = roundtrip(&data, budget, 64);
+            let err: i64 = decoded
+                .iter()
+                .zip(data.iter())
+                .map(|(&d, &o)| (uint_to_int(d) - uint_to_int(o)).abs())
+                .max()
+                .unwrap();
+            assert!(err <= prev_err, "budget {budget}: {err} > {prev_err}");
+            prev_err = err;
+        }
+        assert_eq!(prev_err, 0);
+    }
+
+    #[test]
+    fn partial_block_sizes_roundtrip() {
+        for size in [1usize, 3, 4, 15, 16, 37, 64] {
+            let data: Vec<u64> = (0..size as u64).map(|i| int_to_uint((i as i64 - 5) << 30)).collect();
+            let (decoded, _, _) = roundtrip(&data, u64::MAX / 2, 64);
+            assert_eq!(decoded, data, "size {size}");
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the ZFP-like codec: the fixed-accuracy mode must
+//! respect its tolerance, the fixed-rate mode must hit its size budget, and
+//! decompression must never panic.
+
+use proptest::prelude::*;
+
+use fraz_data::{Dataset, Dims};
+use fraz_zfp::{compress, decompress, ZfpConfig, ZfpMode};
+
+fn max_error(a: &Dataset, b: &Dataset) -> f64 {
+    a.values_f64()
+        .iter()
+        .zip(b.values_f64().iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+fn smooth3d(nz: usize, ny: usize, nx: usize, amp: f32, fx: f32, fy: f32) -> Vec<f32> {
+    let mut values = Vec::with_capacity(nz * ny * nx);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                values.push(
+                    amp * ((x as f32 * fx).sin() + (y as f32 * fy).cos() + z as f32 * 0.05),
+                );
+            }
+        }
+    }
+    values
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn accuracy_tolerance_holds_on_smooth_fields(
+        amp in 0.01f32..1e4,
+        fx in 0.01f32..0.8,
+        fy in 0.01f32..0.8,
+        tol_exp in -6i32..2,
+    ) {
+        let tol = 10f64.powi(tol_exp);
+        let values = smooth3d(8, 12, 12, amp, fx, fy);
+        let original = Dataset::from_f32("prop", "smooth", 0, Dims::d3(8, 12, 12), values);
+        let packed = compress(&original, &ZfpConfig::accuracy(tol)).unwrap();
+        let restored = decompress(&packed).unwrap();
+        prop_assert!(max_error(&original, &restored) <= tol,
+            "tol {} err {}", tol, max_error(&original, &restored));
+        prop_assert_eq!(&restored.dims, &original.dims);
+    }
+
+    #[test]
+    fn accuracy_tolerance_holds_on_arbitrary_finite_data(
+        values in proptest::collection::vec(proptest::num::f32::NORMAL, 64..256),
+        tol_exp in -4i32..4,
+    ) {
+        // Clamp to a sane magnitude so the tolerance is meaningful relative
+        // to the data (f32::NORMAL can produce 1e38).
+        let values: Vec<f32> = values.iter().map(|v| v.clamp(-1e6, 1e6)).collect();
+        let n = values.len();
+        let tol = 10f64.powi(tol_exp);
+        let original = Dataset::from_f32("prop", "rand", 0, Dims::d1(n), values);
+        let packed = compress(&original, &ZfpConfig::accuracy(tol)).unwrap();
+        let restored = decompress(&packed).unwrap();
+        prop_assert!(max_error(&original, &restored) <= tol,
+            "tol {} err {}", tol, max_error(&original, &restored));
+    }
+
+    #[test]
+    fn fixed_rate_size_scales_with_rate(
+        amp in 0.1f32..1e3,
+        bpv in 1.0f64..24.0,
+    ) {
+        let values = smooth3d(8, 8, 8, amp, 0.3, 0.2);
+        let original = Dataset::from_f32("prop", "rate", 0, Dims::d3(8, 8, 8), values);
+        let packed = compress(&original, &ZfpConfig { mode: ZfpMode::FixedRate { bits_per_value: bpv } }).unwrap();
+        // Payload = rate * points (within rounding and a small header).
+        let expected = bpv * original.len() as f64 / 8.0;
+        prop_assert!((packed.len() as f64) < expected + 128.0);
+        prop_assert!((packed.len() as f64) > expected * 0.8);
+        let restored = decompress(&packed).unwrap();
+        prop_assert_eq!(restored.len(), original.len());
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decompress(&data);
+    }
+}
+
+#[test]
+fn accuracy_mode_on_synthetic_nyx_temperature() {
+    let app = fraz_data::synthetic::nyx(16, 16, 16, 2, 9);
+    let original = app.field("temperature", 0);
+    let stats = original.stats();
+    let tol = stats.value_range() * 1e-3;
+    let packed = compress(&original, &ZfpConfig::accuracy(tol)).unwrap();
+    let restored = decompress(&packed).unwrap();
+    assert!(max_error(&original, &restored) <= tol);
+    assert!(packed.len() < original.byte_size());
+}

@@ -1,0 +1,55 @@
+//! Fixed-quality compression (the paper's first future-work item, §VII).
+//!
+//! Instead of a target ratio, the user states the quality their analysis
+//! needs — e.g. "SSIM of at least 0.95", the kind of threshold Baker et al.
+//! established for climate data — and FRaZ finds the *most compressive*
+//! error bound that still meets it.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quality_target
+//! ```
+
+use fraz::core::{FixedQualitySearch, QualityMetric, QualitySearchConfig};
+use fraz::data::synthetic;
+use fraz::pressio::registry;
+
+fn main() {
+    let app = synthetic::cesm(96, 192, 1, 31);
+    let dataset = app.field("CLDHGH", 0);
+    println!("dataset: {dataset}\n");
+
+    let targets = [
+        QualityMetric::SsimAtLeast(0.95),
+        QualityMetric::PsnrAtLeast(60.0),
+        QualityMetric::MaxErrorAtMost(dataset.stats().value_range() * 1e-3),
+    ];
+
+    println!(
+        "{:<28} {:>10} {:>9} {:>9} {:>8} {:>7}",
+        "quality target", "ratio", "PSNR", "SSIM", "max err", "calls"
+    );
+    for metric in targets {
+        let search = FixedQualitySearch::new(
+            registry::compressor("sz").expect("sz backend registered"),
+            QualitySearchConfig::new(metric),
+        );
+        let outcome = search.run(&dataset);
+        let q = outcome.best.quality.as_ref().expect("quality measured");
+        println!(
+            "{:<28} {:>9.1}x {:>9.2} {:>9.4} {:>8.2e} {:>7}",
+            metric.describe(),
+            outcome.best.compression_ratio,
+            q.psnr,
+            q.ssim,
+            q.max_abs_error,
+            outcome.evaluations,
+        );
+        if !outcome.satisfiable {
+            println!("    (target could not be satisfied by this compressor)");
+        }
+    }
+    println!();
+    println!("Each row is the largest compression the SZ-like backend can deliver while still");
+    println!("meeting that row's quality constraint.");
+}

@@ -1,0 +1,48 @@
+//! # FRaZ-rs
+//!
+//! A from-scratch Rust reproduction of **FRaZ: A Generic High-Fidelity
+//! Fixed-Ratio Lossy Compression Framework for Scientific Floating-point
+//! Data** (Underwood, Di, Calhoun, Cappello — IPDPS 2020).
+//!
+//! This umbrella crate re-exports every workspace crate under a single
+//! namespace so applications can depend on `fraz` alone:
+//!
+//! * [`data`] — N-dimensional scientific datasets and synthetic
+//!   SDRBench-like generators (Hurricane, HACC, CESM, EXAALT, NYX).
+//! * [`metrics`] — PSNR, RMSE, max error, SSIM, error autocorrelation,
+//!   compression ratio and bit-rate accounting.
+//! * [`lossless`] — bitstream, canonical Huffman, and LZSS dictionary coding.
+//! * [`sz`] — an SZ-like blockwise prediction-based error-bounded compressor.
+//! * [`zfp`] — a ZFP-like block-transform compressor with fixed-accuracy and
+//!   fixed-rate modes.
+//! * [`mgard`] — an MGARD-like multilevel compressor.
+//! * [`pressio`] — the libpressio-like abstraction layer over compressors.
+//! * [`core`] — FRaZ itself: the fixed-ratio autotuning optimizer and the
+//!   parallel orchestrator.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fraz::core::{FixedRatioSearch, SearchConfig};
+//! use fraz::data::synthetic;
+//! use fraz::pressio::registry;
+//!
+//! // A small hurricane-like 3-D field.
+//! let dataset = synthetic::hurricane(8, 16, 16, 1, 42).field("TCf", 0);
+//! let compressor = registry::compressor("sz").unwrap();
+//!
+//! // Ask FRaZ for a 10:1 ratio within 10%.
+//! let config = SearchConfig::new(10.0, 0.1).with_regions(4).with_threads(2);
+//! let outcome = FixedRatioSearch::new(compressor, config).run(&dataset);
+//! let ratio = outcome.best.compression_ratio;
+//! assert!(ratio > 1.0);
+//! ```
+
+pub use fraz_core as core;
+pub use fraz_data as data;
+pub use fraz_lossless as lossless;
+pub use fraz_metrics as metrics;
+pub use fraz_mgard as mgard;
+pub use fraz_pressio as pressio;
+pub use fraz_sz as sz;
+pub use fraz_zfp as zfp;

@@ -1,0 +1,150 @@
+//! Workspace integration tests: the full FRaZ stack (synthetic data ->
+//! pressio backends -> fixed-ratio search) behaves as the paper describes.
+
+use fraz::core::{FixedRatioSearch, SearchConfig};
+use fraz::data::synthetic;
+use fraz::pressio::registry;
+
+fn quick(target: f64, tolerance: f64) -> SearchConfig {
+    SearchConfig {
+        regions: 4,
+        max_iterations: 16,
+        threads: 2,
+        ..SearchConfig::new(target, tolerance)
+    }
+}
+
+#[test]
+fn feasible_targets_are_hit_on_every_application() {
+    // One representative field per synthetic application, tuned with SZ to a
+    // modest target that is feasible everywhere.
+    let cases = [
+        ("hurricane", "TCf"),
+        ("cesm", "FLDSC"),
+        ("nyx", "temperature"),
+    ];
+    for (app_name, field) in cases {
+        let app = synthetic::by_name(app_name, 3).unwrap();
+        let dataset = app.field(field, 0);
+        let search = FixedRatioSearch::new(registry::compressor("sz").unwrap(), quick(8.0, 0.1));
+        let outcome = search.run(&dataset);
+        assert!(outcome.feasible, "{app_name}/{field} should reach 8:1");
+        let ratio = outcome.best.compression_ratio;
+        assert!(
+            (ratio - 8.0).abs() <= 0.8 + 1e-9,
+            "{app_name}/{field}: ratio {ratio}"
+        );
+    }
+}
+
+#[test]
+fn recommended_bound_respects_the_error_constraint() {
+    // Error-control-based fixed-ratio compression (paper Eq. 2): the result
+    // must satisfy both the ratio window and the error ceiling U.
+    let app = synthetic::hurricane(8, 24, 24, 1, 17);
+    let dataset = app.field("Uf", 0);
+    let ceiling = dataset.stats().value_range() * 0.05;
+    let config = quick(12.0, 0.1).with_max_error(ceiling);
+    let search = FixedRatioSearch::new(registry::compressor("sz").unwrap(), config);
+    let outcome = search.run(&dataset);
+    assert!(outcome.error_bound <= ceiling * (1.0 + 1e-9));
+    let quality = outcome.best.quality.expect("final quality measured");
+    assert!(
+        quality.max_abs_error <= ceiling * (1.0 + 1e-9),
+        "max error {} exceeds ceiling {ceiling}",
+        quality.max_abs_error
+    );
+    if outcome.feasible {
+        assert!((outcome.best.compression_ratio - 12.0).abs() <= 1.2 + 1e-9);
+    }
+}
+
+#[test]
+fn all_error_bounded_backends_can_be_tuned_on_2d_data() {
+    let app = synthetic::cesm(32, 64, 1, 23);
+    let dataset = app.field("FLDSC", 0);
+    for name in registry::error_bounded_names() {
+        let backend = registry::compressor(name).unwrap();
+        if !backend.supports_dims(&dataset.dims) {
+            continue;
+        }
+        let outcome = FixedRatioSearch::new(backend, quick(6.0, 0.15)).run(&dataset);
+        assert!(
+            outcome.best.compression_ratio > 1.0,
+            "{name}: ratio {}",
+            outcome.best.compression_ratio
+        );
+        // Whatever bound FRaZ recommends must actually reproduce the
+        // reported ratio when re-applied.
+        let backend = registry::compressor(name).unwrap();
+        let check = backend.evaluate(&dataset, outcome.error_bound, false).unwrap();
+        assert!(
+            (check.compression_ratio - outcome.best.compression_ratio).abs() < 1e-9,
+            "{name}: ratio not reproducible"
+        );
+    }
+}
+
+#[test]
+fn mgard_is_skipped_for_1d_applications_like_the_paper() {
+    // Fig 9 (d)/(e): MGARD is absent for HACC and EXAALT because it does not
+    // support 1-D data; the abstraction layer reports that cleanly.
+    let app = synthetic::hacc(4096, 1, 3);
+    let dataset = app.field("x", 0);
+    let backend = registry::compressor("mgard").unwrap();
+    assert!(!backend.supports_dims(&dataset.dims));
+    assert!(backend.compress(&dataset, 1e-3).is_err());
+}
+
+#[test]
+fn fraz_beats_fixed_rate_mode_on_quality_at_equal_ratio() {
+    // The headline comparison (Figs 1 and 10): at (approximately) the same
+    // compression ratio, FRaZ-tuned ZFP accuracy mode has higher PSNR than
+    // ZFP's built-in fixed-rate mode.
+    let app = synthetic::nyx(16, 24, 24, 1, 31);
+    let dataset = app.field("temperature", 0);
+    let target = 20.0;
+
+    // ZFP's accuracy mode expresses relatively few distinct ratios (the
+    // minexp flooring), so ask with a generous tolerance and compare at
+    // whatever ratio FRaZ actually lands on — that is how the paper runs the
+    // Fig. 10 comparison (it moved its own target from 100:1 to ~85:1 for
+    // the same reason).
+    let accuracy = FixedRatioSearch::new(registry::compressor("zfp").unwrap(), quick(target, 0.3))
+        .run(&dataset);
+    assert!(
+        accuracy.best.compression_ratio > 5.0,
+        "FRaZ should reach a substantial ratio, got {}",
+        accuracy.best.compression_ratio
+    );
+    let accuracy_quality = accuracy.best.quality.clone().unwrap();
+
+    let rate_backend = registry::compressor("zfp-rate").unwrap();
+    let bits_per_value = 32.0 / accuracy.best.compression_ratio;
+    let rate = rate_backend.evaluate(&dataset, bits_per_value, true).unwrap();
+    let rate_quality = rate.quality.unwrap();
+
+    assert!(
+        accuracy_quality.psnr > rate_quality.psnr,
+        "FRaZ ZFP PSNR {:.2} should exceed fixed-rate PSNR {:.2}",
+        accuracy_quality.psnr,
+        rate_quality.psnr
+    );
+}
+
+#[test]
+fn infeasible_low_ratio_is_reported_infeasible() {
+    // Ratios below the compressor's effective floor (paper Fig. 7 discussion)
+    // must come back as infeasible rather than silently wrong.
+    let app = synthetic::hurricane(6, 16, 16, 1, 41);
+    let dataset = app.field("QCLOUDf.log10", 0);
+    let config = SearchConfig {
+        tolerance: 0.01,
+        regions: 3,
+        max_iterations: 10,
+        threads: 2,
+        ..SearchConfig::new(1.05, 0.01)
+    };
+    let outcome = FixedRatioSearch::new(registry::compressor("sz").unwrap(), config).run(&dataset);
+    assert!(!outcome.feasible);
+}

@@ -1,0 +1,73 @@
+//! Cross-crate property tests: FRaZ's contract — "if the search reports a
+//! feasible result, re-running the recommended bound lands in the acceptable
+//! ratio window and respects the error constraint" — must hold for random
+//! targets, tolerances and fields.
+
+use proptest::prelude::*;
+
+use fraz::core::{FixedRatioSearch, SearchConfig};
+use fraz::data::synthetic;
+use fraz::pressio::registry;
+
+proptest! {
+    // Each case runs a full (small) FRaZ search, so keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn feasible_results_really_are_inside_the_window(
+        target in 4.0f64..40.0,
+        tolerance in 0.05f64..0.25,
+        seed in 0u64..1000,
+    ) {
+        let app = synthetic::hurricane(6, 16, 16, 1, seed);
+        let dataset = app.field("TCf", 0);
+        let config = SearchConfig {
+            regions: 4,
+            max_iterations: 16,
+            threads: 2,
+            ..SearchConfig::new(target, tolerance)
+        };
+        let search = FixedRatioSearch::new(registry::compressor("sz").unwrap(), config);
+        let outcome = search.run(&dataset);
+        prop_assert!(outcome.error_bound > 0.0);
+        prop_assert!(outcome.evaluations >= 1);
+        if outcome.feasible {
+            let ratio = outcome.best.compression_ratio;
+            prop_assert!(
+                ratio >= target * (1.0 - tolerance) - 1e-9 &&
+                ratio <= target * (1.0 + tolerance) + 1e-9,
+                "feasible but ratio {} outside [{}, {}]",
+                ratio, target * (1.0 - tolerance), target * (1.0 + tolerance)
+            );
+            // And the recommended bound reproduces that ratio.
+            let check = search.compressor().evaluate(&dataset, outcome.error_bound, false).unwrap();
+            prop_assert!((check.compression_ratio - ratio).abs() < 1e-9);
+        } else {
+            // Infeasible answers still report the closest observation.
+            prop_assert!(outcome.best.compression_ratio >= 0.0);
+        }
+    }
+
+    #[test]
+    fn error_ceiling_is_never_exceeded(
+        target in 20.0f64..200.0,
+        ceiling_fraction in 1e-4f64..1e-2,
+        seed in 0u64..1000,
+    ) {
+        let app = synthetic::cesm(24, 32, 1, seed);
+        let dataset = app.field("FLDSC", 0);
+        let ceiling = dataset.stats().value_range() * ceiling_fraction;
+        let config = SearchConfig {
+            regions: 3,
+            max_iterations: 10,
+            threads: 2,
+            ..SearchConfig::new(target, 0.1)
+        }
+        .with_max_error(ceiling);
+        let search = FixedRatioSearch::new(registry::compressor("sz").unwrap(), config);
+        let outcome = search.run(&dataset);
+        prop_assert!(outcome.error_bound <= ceiling * (1.0 + 1e-9));
+        let quality = outcome.best.quality.expect("quality measured");
+        prop_assert!(quality.max_abs_error <= ceiling * (1.0 + 1e-9));
+    }
+}
