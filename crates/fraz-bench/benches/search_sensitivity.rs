@@ -18,16 +18,20 @@ fn search_benchmarks(c: &mut Criterion) {
     // 3:1 is typically below the SZ floor (infeasible, worst case); 10:1 and
     // 30:1 are feasible.
     for target in [3.0f64, 10.0, 30.0] {
-        group.bench_with_input(BenchmarkId::from_parameter(target as u64), &target, |b, &t| {
-            b.iter(|| {
-                let config = SearchConfig {
-                    measure_final_quality: false,
-                    max_iterations: 12,
-                    ..SearchConfig::new(t, 0.1).with_regions(4).with_threads(4)
-                };
-                FixedRatioSearch::new(registry::compressor("sz").unwrap(), config).run(&dataset)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(target as u64),
+            &target,
+            |b, &t| {
+                b.iter(|| {
+                    let config = SearchConfig {
+                        measure_final_quality: false,
+                        max_iterations: 12,
+                        ..SearchConfig::new(t, 0.1).with_regions(4).with_threads(4)
+                    };
+                    FixedRatioSearch::new(registry::compressor("sz").unwrap(), config).run(&dataset)
+                });
+            },
+        );
     }
     group.finish();
 

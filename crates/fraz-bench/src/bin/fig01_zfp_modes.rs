@@ -16,7 +16,10 @@ use serde_json::json;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("== Figure 1: ZFP fixed-accuracy vs fixed-rate (scale: {}) ==\n", scale.label());
+    println!(
+        "== Figure 1: ZFP fixed-accuracy vs fixed-rate (scale: {}) ==\n",
+        scale.label()
+    );
     let dataset = workloads::hurricane(scale).field("TCf", 0);
     println!("dataset: {dataset}\n");
 
@@ -33,14 +36,23 @@ fn main() {
         // Accuracy mode: find the tolerance whose ratio matches this rate,
         // i.e. ask FRaZ for the equivalent target ratio.
         let target_ratio = 32.0 / bits_per_value;
-        let config = SearchConfig::new(target_ratio, 0.1).with_regions(6).with_threads(6);
-        let acc_outcome = FixedRatioSearch::new(registry::compressor("zfp").unwrap(), config).run(&dataset);
+        let config = SearchConfig::new(target_ratio, 0.1)
+            .with_regions(6)
+            .with_threads(6);
+        let acc_outcome =
+            FixedRatioSearch::new(registry::compressor("zfp").unwrap(), config).run(&dataset);
         let acc_quality = acc_outcome.best.quality.clone().unwrap();
         let rate_quality = rate_outcome.quality.clone().unwrap();
         table.row(vec![
             format!("{bits_per_value:.1}"),
-            format!("{:.1} (@{:.1}:1)", acc_quality.psnr, acc_outcome.best.compression_ratio),
-            format!("{:.1} (@{:.1}:1)", rate_quality.psnr, rate_outcome.compression_ratio),
+            format!(
+                "{:.1} (@{:.1}:1)",
+                acc_quality.psnr, acc_outcome.best.compression_ratio
+            ),
+            format!(
+                "{:.1} (@{:.1}:1)",
+                rate_quality.psnr, rate_outcome.compression_ratio
+            ),
         ]);
         records.push(Record::new(
             "fig01",
@@ -59,7 +71,9 @@ fn main() {
 
     // ---- (a)/(c)/(d): distortion statistics at ~50:1. ----
     println!("\n-- distortion at a common ~50:1 ratio --");
-    let config = SearchConfig::new(50.0, 0.15).with_regions(6).with_threads(6);
+    let config = SearchConfig::new(50.0, 0.15)
+        .with_regions(6)
+        .with_threads(6);
     let acc = FixedRatioSearch::new(registry::compressor("zfp").unwrap(), config).run(&dataset);
     let acc_q = acc.best.quality.clone().unwrap();
     let rate = fixed_rate
@@ -68,7 +82,11 @@ fn main() {
     let rate_q = rate.quality.clone().unwrap();
     let mut summary = Table::new(&["mode", "ratio", "PSNR", "max error", "SSIM", "ACF(error)"]);
     for (mode, ratio, q) in [
-        ("zfp fixed-accuracy (FRaZ)", acc.best.compression_ratio, &acc_q),
+        (
+            "zfp fixed-accuracy (FRaZ)",
+            acc.best.compression_ratio,
+            &acc_q,
+        ),
         ("zfp fixed-rate", rate.compression_ratio, &rate_q),
     ] {
         summary.row(vec![

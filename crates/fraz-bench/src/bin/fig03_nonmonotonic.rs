@@ -16,7 +16,10 @@ use serde_json::json;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("== Figure 3: non-monotonic ratio vs error bound (scale: {}) ==\n", scale.label());
+    println!(
+        "== Figure 3: non-monotonic ratio vs error bound (scale: {}) ==\n",
+        scale.label()
+    );
     let dataset = workloads::hurricane(scale).field("QCLOUDf.log10", 0);
     println!("dataset: {dataset}\n");
 
@@ -30,7 +33,10 @@ fn main() {
         let outcome = sz.evaluate(&dataset, bound, false).unwrap();
         series.push((bound, outcome.compression_ratio));
         if i % scale.pick(4, 8) == 0 {
-            table.row(vec![format!("{bound:.4}"), format!("{:.2}", outcome.compression_ratio)]);
+            table.row(vec![
+                format!("{bound:.4}"),
+                format!("{:.2}", outcome.compression_ratio),
+            ]);
         }
     }
     table.print();
@@ -55,7 +61,11 @@ fn main() {
     let records: Vec<Record> = series
         .iter()
         .map(|(bound, ratio)| {
-            Record::new("fig03", "sweep", json!({"error_bound": bound, "ratio": ratio}))
+            Record::new(
+                "fig03",
+                "sweep",
+                json!({"error_bound": bound, "ratio": ratio}),
+            )
         })
         .chain(std::iter::once(Record::new(
             "fig03",

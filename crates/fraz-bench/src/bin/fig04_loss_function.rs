@@ -18,15 +18,22 @@ use serde_json::json;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("== Figure 4: ratio landscape and loss function (scale: {}) ==\n", scale.label());
+    println!(
+        "== Figure 4: ratio landscape and loss function (scale: {}) ==\n",
+        scale.label()
+    );
     let dataset = workloads::hurricane(scale).field("TCf", 0);
     let zfp = registry::compressor("zfp").unwrap();
 
     let target_ratio = 15.0;
     let tolerance = 0.1;
     let loss = RatioLoss::new(target_ratio, tolerance);
-    println!("target ratio {target_ratio}:1, acceptable region [{:.1}, {:.1}], cutoff {:.2}\n",
-        target_ratio * (1.0 - tolerance), target_ratio * (1.0 + tolerance), loss.cutoff());
+    println!(
+        "target ratio {target_ratio}:1, acceptable region [{:.1}, {:.1}], cutoff {:.2}\n",
+        target_ratio * (1.0 - tolerance),
+        target_ratio * (1.0 + tolerance),
+        loss.cutoff()
+    );
 
     let points = scale.pick(40, 80);
     let (lo, hi) = zfp.bound_range(&dataset);
@@ -44,7 +51,11 @@ fn main() {
         table.row(vec![
             format!("{bound:.3e}"),
             format!("{:.2}", outcome.compression_ratio),
-            if l >= 1e6 { format!("{l:.2e}") } else { format!("{l:.2}") },
+            if l >= 1e6 {
+                format!("{l:.2e}")
+            } else {
+                format!("{l:.2}")
+            },
             if ok { "yes".into() } else { "".into() },
         ]);
         records.push(Record::new(

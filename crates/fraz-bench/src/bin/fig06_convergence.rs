@@ -17,11 +17,18 @@ use serde_json::json;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("== Figure 6: good vs bad convergence across time-steps (scale: {}) ==\n", scale.label());
+    println!(
+        "== Figure 6: good vs bad convergence across time-steps (scale: {}) ==\n",
+        scale.label()
+    );
     let app = workloads::hurricane(scale);
     let field = "CLOUDf";
     let series = app.series(field);
-    println!("field {field}, {} time-steps, grid {}\n", series.len(), app.dims());
+    println!(
+        "field {field}, {} time-steps, grid {}\n",
+        series.len(),
+        app.dims()
+    );
 
     // Which of the two targets is the "good" (feasible) one depends on the
     // data: on the paper's real Hurricane-CLOUD field ρt=8 converges and

@@ -20,13 +20,20 @@ use serde_json::json;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("== Figure 7: runtime sensitivity to the target ratio (scale: {}) ==\n", scale.label());
+    println!(
+        "== Figure 7: runtime sensitivity to the target ratio (scale: {}) ==\n",
+        scale.label()
+    );
     let app = workloads::hurricane(scale);
     let field = "CLOUDf";
     // A shorter series keeps the 28-point sweep tractable at quick scale.
     let steps = scale.pick(4, 12);
     let series: Vec<_> = app.series(field).into_iter().take(steps).collect();
-    println!("field {field}, {} time-steps, grid {}\n", series.len(), app.dims());
+    println!(
+        "field {field}, {} time-steps, grid {}\n",
+        series.len(),
+        app.dims()
+    );
 
     // Estimate the per-call compression time once, to split "total" vs
     // "compression" time the way the paper's stacked bars do.
@@ -46,12 +53,20 @@ fn main() {
         targets
     };
 
-    let mut table = Table::new(&["target", "total time (s)", "compression time (s)", "calls", "converged steps"]);
+    let mut table = Table::new(&[
+        "target",
+        "total time (s)",
+        "compression time (s)",
+        "calls",
+        "converged steps",
+    ]);
     let mut records = Vec::new();
     for &target in &targets {
         let search = SearchConfig {
             measure_final_quality: false,
-            ..SearchConfig::new(target, 0.1).with_regions(6).with_threads(6)
+            ..SearchConfig::new(target, 0.1)
+                .with_regions(6)
+                .with_threads(6)
         };
         let orch = Orchestrator::new("sz", OrchestratorConfig::new(search)).unwrap();
         let start = Instant::now();

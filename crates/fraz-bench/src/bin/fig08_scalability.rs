@@ -19,7 +19,10 @@ use serde_json::json;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("== Figure 8: strong scaling (scale: {}) ==\n", scale.label());
+    println!(
+        "== Figure 8: strong scaling (scale: {}) ==\n",
+        scale.label()
+    );
     let app = workloads::hurricane(scale);
     let steps = scale.pick(2, 6);
     let fields: Vec<(String, Vec<Dataset>)> = app
@@ -30,7 +33,12 @@ fn main() {
             (f, series)
         })
         .collect();
-    println!("{} fields x {} time-steps, grid {}\n", fields.len(), steps, app.dims());
+    println!(
+        "{} fields x {} time-steps, grid {}\n",
+        fields.len(),
+        steps,
+        app.dims()
+    );
 
     let worker_counts: Vec<usize> = scale.pick(vec![1, 2, 4, 8, 16], vec![1, 2, 4, 8, 16, 32, 64]);
     let mut table = Table::new(&["workers", "sz:abs runtime (s)", "zfp:accuracy runtime (s)"]);
@@ -69,5 +77,7 @@ fn main() {
     println!("\nlongest single-field time observed: {longest_field:.2} s — the scaling floor.");
     println!("Paper expectation: runtime drops steeply up to the point where every field runs");
     println!("concurrently, then flattens at the longest field's time; zfp:accuracy scales worse");
-    println!("than sz:abs because more of its targets are infeasible and exhaust the search budget.");
+    println!(
+        "than sz:abs because more of its targets are infeasible and exhaust the search budget."
+    );
 }

@@ -19,14 +19,26 @@ use serde_json::json;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("== Figure 9: rate distortion across applications (scale: {}) ==\n", scale.label());
-    let bit_rates: Vec<f64> = scale.pick(vec![0.5, 1.0, 2.0, 4.0, 8.0], vec![0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0]);
+    println!(
+        "== Figure 9: rate distortion across applications (scale: {}) ==\n",
+        scale.label()
+    );
+    let bit_rates: Vec<f64> = scale.pick(
+        vec![0.5, 1.0, 2.0, 4.0, 8.0],
+        vec![0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0],
+    );
     let mut records = Vec::new();
 
     for app in workloads::applications(scale) {
         let dataset = workloads::headline_dataset(&app);
         println!("-- {} ({}) --", app.application(), dataset.field);
-        let mut table = Table::new(&["bit rate", "SZ(FRaZ)", "ZFP(FRaZ)", "ZFP(fixed-rate)", "MGARD(FRaZ)"]);
+        let mut table = Table::new(&[
+            "bit rate",
+            "SZ(FRaZ)",
+            "ZFP(FRaZ)",
+            "ZFP(fixed-rate)",
+            "MGARD(FRaZ)",
+        ]);
         for &bit_rate in &bit_rates {
             let target_ratio = 32.0 / bit_rate;
             let mut cells = vec![format!("{bit_rate:.1}")];

@@ -40,7 +40,10 @@ fn central_slice(dataset: &Dataset) -> (usize, usize, Vec<f64>) {
 
 fn main() {
     let scale = Scale::from_env();
-    println!("== Figure 10: visual quality at ~85:1 (NYX temperature) (scale: {}) ==\n", scale.label());
+    println!(
+        "== Figure 10: visual quality at ~85:1 (NYX temperature) (scale: {}) ==\n",
+        scale.label()
+    );
     let app = workloads::nyx(scale);
     let dataset = app.field("temperature", 0);
     println!("dataset: {dataset}\n");
@@ -51,7 +54,14 @@ fn main() {
     let (rows, cols, original_slice) = central_slice(&dataset);
     write_pgm(&out_dir.join("original.pgm"), rows, cols, &original_slice);
 
-    let mut table = Table::new(&["compressor", "ratio", "PSNR", "SSIM", "ACF(error)", "max error"]);
+    let mut table = Table::new(&[
+        "compressor",
+        "ratio",
+        "PSNR",
+        "SSIM",
+        "ACF(error)",
+        "max error",
+    ]);
     let mut records = Vec::new();
     let mut emit = |name: &str, ratio: f64, restored: &Dataset, compressed_bytes: usize| {
         let quality = fraz_metrics::QualityReport::evaluate(&dataset, restored, compressed_bytes);

@@ -17,7 +17,10 @@ use serde_json::json;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("== Optimizer comparison (paper §V-B1) (scale: {}) ==\n", scale.label());
+    println!(
+        "== Optimizer comparison (paper §V-B1) (scale: {}) ==\n",
+        scale.label()
+    );
     let dataset = workloads::hurricane(scale).field("CLOUDf", 0);
     let sz = registry::compressor("sz").unwrap();
     let (lo, hi) = sz.bound_range(&dataset);

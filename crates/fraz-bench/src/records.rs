@@ -83,7 +83,14 @@ mod tests {
             ratio: f64,
             psnr: f64,
         }
-        let r = Record::new("fig09", "nyx/temperature/sz", Row { ratio: 85.0, psnr: 80.4 });
+        let r = Record::new(
+            "fig09",
+            "nyx/temperature/sz",
+            Row {
+                ratio: 85.0,
+                psnr: 80.4,
+            },
+        );
         assert_eq!(r.experiment, "fig09");
         let json = serde_json::to_string(&r).unwrap();
         assert!(json.contains("85.0") || json.contains("85"));

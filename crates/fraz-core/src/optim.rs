@@ -189,7 +189,11 @@ impl GlobalMinimizer {
         let best = evaluations
             .iter()
             .copied()
-            .min_by(|a, b| a.loss.partial_cmp(&b.loss).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| {
+                a.loss
+                    .partial_cmp(&b.loss)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .unwrap_or(Evaluation {
                 x: lower,
                 loss: f64::INFINITY,
@@ -254,12 +258,7 @@ impl GlobalMinimizer {
 
     /// Trust-region refinement: fit a parabola through the best point and its
     /// nearest neighbours on either side and jump to its minimizer.
-    fn trust_region_candidate(
-        &self,
-        evals: &[Evaluation],
-        lower: f64,
-        upper: f64,
-    ) -> Option<f64> {
+    fn trust_region_candidate(&self, evals: &[Evaluation], lower: f64, upper: f64) -> Option<f64> {
         if evals.len() < 3 {
             return None;
         }
@@ -337,7 +336,11 @@ pub fn binary_search(
     for _ in 0..max_evaluations {
         let mid = 0.5 * (lo + hi);
         let (loss, ratio) = objective.eval(mid);
-        evaluations.push(Evaluation { x: mid, loss, ratio });
+        evaluations.push(Evaluation {
+            x: mid,
+            loss,
+            ratio,
+        });
         if ratio >= target_ratio * (1.0 - tolerance) && ratio <= target_ratio * (1.0 + tolerance) {
             reached_cutoff = true;
             break;
@@ -355,7 +358,11 @@ pub fn binary_search(
     let best = evaluations
         .iter()
         .copied()
-        .min_by(|a, b| a.loss.partial_cmp(&b.loss).unwrap_or(std::cmp::Ordering::Equal))
+        .min_by(|a, b| {
+            a.loss
+                .partial_cmp(&b.loss)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
         .unwrap_or(Evaluation {
             x: lower,
             loss: f64::INFINITY,
@@ -392,7 +399,11 @@ pub fn grid_search(
     let best = evaluations
         .iter()
         .copied()
-        .min_by(|a, b| a.loss.partial_cmp(&b.loss).unwrap_or(std::cmp::Ordering::Equal))
+        .min_by(|a, b| {
+            a.loss
+                .partial_cmp(&b.loss)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
         .unwrap();
     SearchTrace {
         best,

@@ -339,6 +339,10 @@ mod tests {
 
     #[test]
     fn unknown_backend_is_rejected() {
-        assert!(Orchestrator::new("nope", OrchestratorConfig::new(SearchConfig::new(10.0, 0.1))).is_none());
+        assert!(Orchestrator::new(
+            "nope",
+            OrchestratorConfig::new(SearchConfig::new(10.0, 0.1))
+        )
+        .is_none());
     }
 }

@@ -197,9 +197,7 @@ impl FixedQualitySearch {
         if let (Some(mut ok_x), Some(mut bad_x)) = (last_ok, first_bad) {
             let remaining = self.config.max_iterations.saturating_sub(evaluations.get());
             for _ in 0..remaining {
-                if (bad_x - ok_x).abs()
-                    <= self.config.improvement_tolerance * (xhi - xlo).abs()
-                {
+                if (bad_x - ok_x).abs() <= self.config.improvement_tolerance * (xhi - xlo).abs() {
                     break;
                 }
                 let mid = 0.5 * (ok_x + bad_x);
@@ -222,18 +220,18 @@ impl FixedQualitySearch {
             None => {
                 // Nothing satisfied the constraint: fall back to the
                 // smallest bound (highest fidelity the compressor offers).
-                let fallback = self
-                    .compressor
-                    .evaluate(dataset, lower, true)
-                    .unwrap_or(CompressionOutcome {
-                        compressor: self.compressor.name().to_string(),
-                        error_bound: lower,
-                        compression_ratio: 0.0,
-                        bit_rate: 0.0,
-                        compressed_bytes: 0,
-                        original_bytes: dataset.byte_size(),
-                        quality: None,
-                    });
+                let fallback =
+                    self.compressor
+                        .evaluate(dataset, lower, true)
+                        .unwrap_or(CompressionOutcome {
+                            compressor: self.compressor.name().to_string(),
+                            error_bound: lower,
+                            compression_ratio: 0.0,
+                            bit_rate: 0.0,
+                            compressed_bytes: 0,
+                            original_bytes: dataset.byte_size(),
+                            quality: None,
+                        });
                 QualitySearchOutcome {
                     error_bound: lower,
                     best: fallback,

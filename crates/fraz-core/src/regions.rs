@@ -63,7 +63,10 @@ pub fn make_error_bounds(
     let (lo, hi, back): (f64, f64, fn(f64) -> f64) = match scale {
         BoundScale::Linear => (lower, upper, |x| x),
         BoundScale::Log => {
-            assert!(lower > 0.0, "log-scale regions require a positive lower bound");
+            assert!(
+                lower > 0.0,
+                "log-scale regions require a positive lower bound"
+            );
             (lower.log10(), upper.log10(), |x| 10f64.powf(x))
         }
     };
@@ -130,7 +133,13 @@ mod tests {
     fn single_region_is_the_whole_range() {
         let regions = make_error_bounds(0.5, 2.0, 1, 0.1, BoundScale::Linear);
         assert_eq!(regions.len(), 1);
-        assert_eq!(regions[0], Region { lower: 0.5, upper: 2.0 });
+        assert_eq!(
+            regions[0],
+            Region {
+                lower: 0.5,
+                upper: 2.0
+            }
+        );
     }
 
     #[test]

@@ -297,12 +297,19 @@ impl FixedRatioSearch {
         cancel: &AtomicBool,
     ) -> RegionOutcome {
         let mut objective = |e: f64| match self.compressor.evaluate(dataset, e, false) {
-            Ok(outcome) => (loss.loss(outcome.compression_ratio), outcome.compression_ratio),
+            Ok(outcome) => (
+                loss.loss(outcome.compression_ratio),
+                outcome.compression_ratio,
+            ),
             Err(_) => (loss.gamma, 0.0),
         };
         let optimizer = GlobalMinimizer::new(OptimizerConfig {
             max_evaluations: self.config.max_iterations,
-            cutoff: if self.config.use_cutoff { loss.cutoff() } else { 0.0 },
+            cutoff: if self.config.use_cutoff {
+                loss.cutoff()
+            } else {
+                0.0
+            },
             ..Default::default()
         });
         let trace = optimizer.minimize(&mut objective, region.lower, region.upper, Some(cancel));
@@ -421,7 +428,10 @@ mod tests {
         let dataset = smooth_field();
         let search = FixedRatioSearch::new(registry::compressor("sz").unwrap(), quick_config(10.0));
         let outcome = search.run_with_prediction(&dataset, Some(1e-12));
-        assert!(outcome.retrained, "a useless prediction must trigger training");
+        assert!(
+            outcome.retrained,
+            "a useless prediction must trigger training"
+        );
         assert!(outcome.feasible);
     }
 

@@ -121,9 +121,7 @@ impl DataBuffer {
             DType::F64 => DataBuffer::F64(
                 bytes
                     .chunks_exact(8)
-                    .map(|c| {
-                        f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])
-                    })
+                    .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
                     .collect(),
             ),
         })

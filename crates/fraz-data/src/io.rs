@@ -121,7 +121,13 @@ mod tests {
         let path = temp_path("bad.bin");
         std::fs::write(&path, [0u8; 10]).unwrap();
         let err = read_raw(&path, "a", "b", 0, Dims::d1(4), DType::F32).unwrap_err();
-        assert!(matches!(err, IoError::SizeMismatch { expected_bytes: 16, actual_bytes: 10 }));
+        assert!(matches!(
+            err,
+            IoError::SizeMismatch {
+                expected_bytes: 16,
+                actual_bytes: 10
+            }
+        ));
         assert!(err.to_string().contains("16"));
         std::fs::remove_file(&path).ok();
     }

@@ -26,7 +26,7 @@ pub mod synthetic;
 
 use std::fmt;
 
-pub use buffer::{DataBuffer, DType};
+pub use buffer::{DType, DataBuffer};
 pub use dims::Dims;
 
 /// One field of one application at one time-step — the unit of compression
@@ -198,7 +198,8 @@ impl FieldStats {
             sum += v;
         }
         let mean = sum / values.len() as f64;
-        let var = values.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        let var =
+            values.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
         Self {
             min,
             max,

@@ -321,7 +321,12 @@ mod tests {
     fn sample_grid_lengths_match_dims() {
         let mut rng = rng_for(9, "len");
         let f = SpectralField::random(&mut rng, &SpectralConfig::default());
-        for dims in [Dims::d1(17), Dims::d2(5, 9), Dims::d3(3, 4, 5), Dims::d4(2, 3, 4, 5)] {
+        for dims in [
+            Dims::d1(17),
+            Dims::d2(5, 9),
+            Dims::d3(3, 4, 5),
+            Dims::d4(2, 3, 4, 5),
+        ] {
             assert_eq!(f.sample_grid(&dims, 0.0).len(), dims.len());
         }
     }
@@ -367,7 +372,12 @@ mod tests {
         }
         .apply_all(&mut values);
         let zeros = values.iter().filter(|&&v| v == 0.0).count();
-        assert!(zeros > values.len() / 2, "zeros={} / {}", zeros, values.len());
+        assert!(
+            zeros > values.len() / 2,
+            "zeros={} / {}",
+            zeros,
+            values.len()
+        );
     }
 
     #[test]

@@ -36,7 +36,11 @@ enum FieldKind {
     ParticleVelocity { sigma: f64, axis: usize },
     /// Molecular-dynamics coordinates: a perturbed lattice with thermal
     /// vibration (EXAALT-like).
-    LatticePosition { spacing: f64, thermal: f64, axis: usize },
+    LatticePosition {
+        spacing: f64,
+        thermal: f64,
+        axis: usize,
+    },
 }
 
 /// Specification of one field of a synthetic application.
@@ -190,8 +194,10 @@ impl SyntheticDataset {
             }
             FieldKind::ParticleVelocity { sigma, axis } => {
                 let n = self.dims.len();
-                let mut rng =
-                    rng_for(self.seed, &format!("{}/velocities/{axis}", self.application));
+                let mut rng = rng_for(
+                    self.seed,
+                    &format!("{}/velocities/{axis}", self.application),
+                );
                 let bulk = normal(&mut rng) * sigma * 0.3;
                 let mut accel_rng = rng_for(self.seed, &format!("{label}/accel"));
                 let drift = normal(&mut accel_rng) * sigma * 0.01;
@@ -364,15 +370,24 @@ pub fn hacc(particles: usize, timesteps: usize, seed: u64) -> SyntheticDataset {
         },
         FieldSpec {
             name: "vx".into(),
-            kind: FieldKind::ParticleVelocity { sigma: 300.0, axis: 0 },
+            kind: FieldKind::ParticleVelocity {
+                sigma: 300.0,
+                axis: 0,
+            },
         },
         FieldSpec {
             name: "vy".into(),
-            kind: FieldKind::ParticleVelocity { sigma: 300.0, axis: 1 },
+            kind: FieldKind::ParticleVelocity {
+                sigma: 300.0,
+                axis: 1,
+            },
         },
         FieldSpec {
             name: "vz".into(),
-            kind: FieldKind::ParticleVelocity { sigma: 300.0, axis: 2 },
+            kind: FieldKind::ParticleVelocity {
+                sigma: 300.0,
+                axis: 2,
+            },
         },
     ];
     SyntheticDataset {
@@ -609,7 +624,10 @@ mod tests {
             for field in app.field_names() {
                 let d = app.field(&field, t);
                 assert_eq!(d.len(), app.dims().len(), "{name}/{field}");
-                assert!(d.values_f64().iter().all(|v| v.is_finite()), "{name}/{field}");
+                assert!(
+                    d.values_f64().iter().all(|v| v.is_finite()),
+                    "{name}/{field}"
+                );
             }
         }
         assert!(by_name("unknown", 0).is_none());
@@ -683,7 +701,10 @@ mod tests {
         let rho = app.field("baryon_density", 0).values_f64();
         assert!(rho.iter().all(|&v| v > 0.0));
         let stats = crate::FieldStats::compute(&rho);
-        assert!(stats.max / stats.mean > 3.0, "density should be heavy-tailed");
+        assert!(
+            stats.max / stats.mean > 3.0,
+            "density should be heavy-tailed"
+        );
     }
 
     #[test]

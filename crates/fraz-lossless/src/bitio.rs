@@ -169,7 +169,9 @@ mod tests {
 
     #[test]
     fn single_bits_roundtrip() {
-        let pattern = [true, false, true, true, false, false, true, false, true, true, true];
+        let pattern = [
+            true, false, true, true, false, false, true, false, true, true, true,
+        ];
         let mut w = BitWriter::new();
         for &b in &pattern {
             w.write_bit(b);

@@ -66,7 +66,10 @@ impl fmt::Display for CodingError {
                 "back-reference distance {distance} exceeds produced output {produced}"
             ),
             CodingError::LengthMismatch { expected, actual } => {
-                write!(f, "decoded length {actual} does not match declared {expected}")
+                write!(
+                    f,
+                    "decoded length {actual} does not match declared {expected}"
+                )
             }
             CodingError::InvalidCodeTable(msg) => write!(f, "invalid Huffman code table: {msg}"),
         }
@@ -179,6 +182,8 @@ mod tests {
             produced: 5,
         };
         assert!(err.to_string().contains("back-reference"));
-        assert!(CodingError::UnexpectedEof.to_string().contains("unexpected"));
+        assert!(CodingError::UnexpectedEof
+            .to_string()
+            .contains("unexpected"));
     }
 }

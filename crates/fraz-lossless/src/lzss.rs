@@ -292,9 +292,9 @@ pub fn decompress(data: &[u8], expected_len: usize) -> Result<Vec<u8>> {
             out.push(sym as u8);
         } else {
             let length = (sym - LEN_SYMBOL_BASE) as usize + MIN_MATCH;
-            let dist_dec = dist_dec
-                .as_ref()
-                .ok_or_else(|| CodingError::InvalidCodeTable("match without distance table".into()))?;
+            let dist_dec = dist_dec.as_ref().ok_or_else(|| {
+                CodingError::InvalidCodeTable("match without distance table".into())
+            })?;
             let slot = dist_dec.decode_symbol(&mut r)?;
             if slot > 63 {
                 return Err(CodingError::InvalidSymbol(slot));
@@ -384,7 +384,11 @@ mod tests {
         let data: Vec<u8> = (0..30_000u32)
             .map(|i| ((i / 7) % 256) as u8 ^ ((i % 13) as u8))
             .collect();
-        for config in [LzssConfig::default(), LzssConfig::fast(), LzssConfig::high()] {
+        for config in [
+            LzssConfig::default(),
+            LzssConfig::fast(),
+            LzssConfig::high(),
+        ] {
             roundtrip(&data, &config);
         }
     }

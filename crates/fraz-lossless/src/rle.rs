@@ -98,7 +98,17 @@ mod tests {
 
     #[test]
     fn uvarint_roundtrip() {
-        let values = [0u64, 1, 127, 128, 255, 300, 16384, u32::MAX as u64, u64::MAX];
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            300,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
         let mut w = BitWriter::new();
         for &v in &values {
             write_uvarint(&mut w, v);
@@ -112,7 +122,17 @@ mod tests {
 
     #[test]
     fn ivarint_roundtrip() {
-        let values = [0i64, -1, 1, -64, 64, i32::MIN as i64, i32::MAX as i64, i64::MIN, i64::MAX];
+        let values = [
+            0i64,
+            -1,
+            1,
+            -64,
+            64,
+            i32::MIN as i64,
+            i32::MAX as i64,
+            i64::MIN,
+            i64::MAX,
+        ];
         let mut w = BitWriter::new();
         for &v in &values {
             write_ivarint(&mut w, v);

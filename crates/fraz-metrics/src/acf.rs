@@ -28,7 +28,9 @@ pub fn autocorrelation(series: &[f64], lag: usize) -> f64 {
 
 /// Autocorrelation function for lags `1..=max_lag`.
 pub fn acf(series: &[f64], max_lag: usize) -> Vec<f64> {
-    (1..=max_lag).map(|lag| autocorrelation(series, lag)).collect()
+    (1..=max_lag)
+        .map(|lag| autocorrelation(series, lag))
+        .collect()
 }
 
 #[cfg(test)]
@@ -49,7 +51,9 @@ mod tests {
 
     #[test]
     fn alternating_series_has_negative_lag1() {
-        let series: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let series: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let r = autocorrelation(&series, 1);
         assert!(r < -0.9, "lag-1 ACF of alternating series was {r}");
     }
@@ -67,7 +71,9 @@ mod tests {
         let mut state = 123456789u64;
         let series: Vec<f64> = (0..10_000)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
             })
             .collect();

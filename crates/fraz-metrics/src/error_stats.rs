@@ -110,9 +110,7 @@ mod tests {
         let a: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.01).sin()).collect();
         let small: Vec<f64> = a.iter().map(|v| v + 1e-4).collect();
         let large: Vec<f64> = a.iter().map(|v| v + 1e-2).collect();
-        assert!(
-            ErrorStats::compute(&a, &small).psnr > ErrorStats::compute(&a, &large).psnr + 30.0
-        );
+        assert!(ErrorStats::compute(&a, &small).psnr > ErrorStats::compute(&a, &large).psnr + 30.0);
     }
 
     #[test]

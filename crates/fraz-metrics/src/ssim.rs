@@ -139,7 +139,9 @@ mod tests {
     use super::*;
 
     fn ramp(rows: usize, cols: usize) -> Vec<f64> {
-        (0..rows * cols).map(|i| (i % cols) as f64 + (i / cols) as f64 * 0.5).collect()
+        (0..rows * cols)
+            .map(|i| (i % cols) as f64 + (i / cols) as f64 * 0.5)
+            .collect()
     }
 
     #[test]
@@ -160,8 +162,16 @@ mod tests {
     #[test]
     fn heavy_noise_scores_lower_than_light_noise() {
         let a = ramp(64, 64);
-        let light: Vec<f64> = a.iter().enumerate().map(|(i, v)| v + 0.05 * ((i * 31 % 7) as f64 - 3.0)).collect();
-        let heavy: Vec<f64> = a.iter().enumerate().map(|(i, v)| v + 5.0 * ((i * 31 % 7) as f64 - 3.0)).collect();
+        let light: Vec<f64> = a
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + 0.05 * ((i * 31 % 7) as f64 - 3.0))
+            .collect();
+        let heavy: Vec<f64> = a
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + 5.0 * ((i * 31 % 7) as f64 - 3.0))
+            .collect();
         let s_light = mean_ssim(&a, &light, 64, 64, &SsimConfig::default());
         let s_heavy = mean_ssim(&a, &heavy, 64, 64, &SsimConfig::default());
         assert!(s_light > s_heavy);
@@ -200,9 +210,34 @@ mod tests {
     #[test]
     fn stride_one_and_four_agree_roughly() {
         let a = ramp(40, 40);
-        let b: Vec<f64> = a.iter().enumerate().map(|(i, v)| v + 0.2 * ((i % 5) as f64 - 2.0)).collect();
-        let dense = mean_ssim(&a, &b, 40, 40, &SsimConfig { stride: 1, ..Default::default() });
-        let sparse = mean_ssim(&a, &b, 40, 40, &SsimConfig { stride: 4, ..Default::default() });
-        assert!((dense - sparse).abs() < 0.05, "dense={dense} sparse={sparse}");
+        let b: Vec<f64> = a
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + 0.2 * ((i % 5) as f64 - 2.0))
+            .collect();
+        let dense = mean_ssim(
+            &a,
+            &b,
+            40,
+            40,
+            &SsimConfig {
+                stride: 1,
+                ..Default::default()
+            },
+        );
+        let sparse = mean_ssim(
+            &a,
+            &b,
+            40,
+            40,
+            &SsimConfig {
+                stride: 4,
+                ..Default::default()
+            },
+        );
+        assert!(
+            (dense - sparse).abs() < 0.05,
+            "dense={dense} sparse={sparse}"
+        );
     }
 }

@@ -161,7 +161,10 @@ mod tests {
         // A node whose coordinates are all multiples of 2s is its own
         // interpolant.
         assert_eq!(interpolate(&grid, dims, [0, 0, 0], 1), grid[0]);
-        assert_eq!(interpolate(&grid, dims, [2, 2, 2], 1), grid[(2 * 4 + 2) * 4 + 2]);
+        assert_eq!(
+            interpolate(&grid, dims, [2, 2, 2], 1),
+            grid[(2 * 4 + 2) * 4 + 2]
+        );
     }
 
     #[test]

@@ -126,7 +126,10 @@ impl std::fmt::Display for MgardError {
         match self {
             MgardError::InvalidConfig(msg) => write!(f, "invalid MGARD configuration: {msg}"),
             MgardError::UnsupportedDimensionality(d) => {
-                write!(f, "MGARD-like codec supports 2-D and 3-D data only, got {d}-D")
+                write!(
+                    f,
+                    "MGARD-like codec supports 2-D and 3-D data only, got {d}-D"
+                )
             }
             MgardError::Corrupt(msg) => write!(f, "corrupt MGARD stream: {msg}"),
         }
@@ -292,7 +295,9 @@ pub fn decompress(data: &[u8]) -> Result<Dataset, MgardError> {
     }
     let version = r.get_u8()?;
     if version != VERSION {
-        return Err(MgardError::Corrupt(format!("unsupported version {version}")));
+        return Err(MgardError::Corrupt(format!(
+            "unsupported version {version}"
+        )));
     }
     let dtype = match r.get_u8()? {
         0 => DType::F32,
@@ -301,7 +306,9 @@ pub fn decompress(data: &[u8]) -> Result<Dataset, MgardError> {
     };
     let ndims = r.get_u8()? as usize;
     if !(2..=3).contains(&ndims) {
-        return Err(MgardError::Corrupt(format!("invalid dimensionality {ndims}")));
+        return Err(MgardError::Corrupt(format!(
+            "invalid dimensionality {ndims}"
+        )));
     }
     let mut axes = Vec::with_capacity(ndims);
     for _ in 0..ndims {
@@ -331,7 +338,9 @@ pub fn decompress(data: &[u8]) -> Result<Dataset, MgardError> {
     let codes = huffman::decode_symbols(b.get_section()?)?;
     let num_exact = b.get_u64()? as usize;
     if num_exact > dims.len() {
-        return Err(MgardError::Corrupt("exact-value count exceeds grid size".into()));
+        return Err(MgardError::Corrupt(
+            "exact-value count exceeds grid size".into(),
+        ));
     }
     let mut exact = Vec::with_capacity(num_exact);
     for _ in 0..num_exact {

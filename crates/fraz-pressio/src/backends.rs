@@ -282,7 +282,11 @@ mod tests {
         let o8 = backend.evaluate(&dataset, 8.0, false).unwrap();
         assert!(o4.compressed_bytes < o8.compressed_bytes);
         // 4 bits/value on 32-bit floats is ~8:1, allowing for the header.
-        assert!((o4.compression_ratio - 8.0).abs() < 1.0, "{}", o4.compression_ratio);
+        assert!(
+            (o4.compression_ratio - 8.0).abs() < 1.0,
+            "{}",
+            o4.compression_ratio
+        );
         assert_eq!(backend.bound_kind(), "bits per value");
     }
 

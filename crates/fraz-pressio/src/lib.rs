@@ -113,7 +113,11 @@ pub trait Compressor: Send + Sync {
         let compressed_bytes = compressed.len();
         let quality = if measure_quality {
             let restored = self.decompress(&compressed)?;
-            Some(QualityReport::evaluate(dataset, &restored, compressed_bytes))
+            Some(QualityReport::evaluate(
+                dataset,
+                &restored,
+                compressed_bytes,
+            ))
         } else {
             None
         };
@@ -194,7 +198,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(PressioError::Unsupported("1-D".into()).to_string().contains("unsupported"));
-        assert!(PressioError::Codec("x".into()).to_string().contains("codec"));
+        assert!(PressioError::Unsupported("1-D".into())
+            .to_string()
+            .contains("unsupported"));
+        assert!(PressioError::Codec("x".into())
+            .to_string()
+            .contains("codec"));
     }
 }

@@ -262,7 +262,9 @@ pub fn decompress(data: &[u8]) -> Result<Dataset, SzError> {
     let block = r.get_u32()? as usize;
     let capacity = r.get_u32()?;
     if !(error_bound > 0.0 && error_bound.is_finite()) || block == 0 || capacity < 4 {
-        return Err(SzError::Corrupt("invalid codec parameters in header".into()));
+        return Err(SzError::Corrupt(
+            "invalid codec parameters in header".into(),
+        ));
     }
 
     let body = fraz_lossless::decompress(r.rest())?;
@@ -287,7 +289,9 @@ pub fn decompress(data: &[u8]) -> Result<Dataset, SzError> {
     let quant_codes = huffman::decode_symbols(b.get_section()?)?;
     let num_unpred = b.get_u64()? as usize;
     if num_unpred > dims.len() {
-        return Err(SzError::Corrupt("unpredictable count exceeds grid size".into()));
+        return Err(SzError::Corrupt(
+            "unpredictable count exceeds grid size".into(),
+        ));
     }
     let mut unpredictable = Vec::with_capacity(num_unpred);
     for _ in 0..num_unpred {
@@ -387,7 +391,10 @@ mod tests {
         let original = wave_dataset(Dims::d3(16, 32, 32));
         let compressed = compress(&original, &SzConfig::with_error_bound(1e-2)).unwrap();
         let ratio = original.byte_size() as f64 / compressed.len() as f64;
-        assert!(ratio > 8.0, "expected a high ratio on smooth data, got {ratio:.2}");
+        assert!(
+            ratio > 8.0,
+            "expected a high ratio on smooth data, got {ratio:.2}"
+        );
     }
 
     #[test]

@@ -130,9 +130,8 @@ pub fn encode(
         for dz in 0..extent[0] {
             for dy in 0..extent[1] {
                 for dx in 0..extent[2] {
-                    let idx = ((origin[0] + dz) * dims[1] + origin[1] + dy) * dims[2]
-                        + origin[2]
-                        + dx;
+                    let idx =
+                        ((origin[0] + dz) * dims[1] + origin[1] + dy) * dims[2] + origin[2] + dx;
                     points.push(([dz, dy, dx], values[idx]));
                 }
             }
@@ -166,8 +165,7 @@ pub fn encode(
                     if code_f.abs() < radius as f64 && code_f.is_finite() {
                         let code = radius + code_f as i64;
                         if code > 0 && code < params.capacity as i64 {
-                            let recon_val =
-                                finalize(pred + 2.0 * eb * (code - radius) as f64);
+                            let recon_val = finalize(pred + 2.0 * eb * (code - radius) as f64);
                             if (recon_val - orig).abs() <= eb && recon_val.is_finite() {
                                 out.quant_codes.push(code as u32);
                                 recon[idx] = recon_val;
@@ -242,7 +240,9 @@ pub fn decode(
         ];
         let use_regression = *flag_iter.next().ok_or(DecodeError::MissingRegressionData)?;
         let plane = if use_regression {
-            let c = coeff_iter.next().ok_or(DecodeError::MissingRegressionData)?;
+            let c = coeff_iter
+                .next()
+                .ok_or(DecodeError::MissingRegressionData)?;
             Some(RegressionPlane::from_coeffs([
                 c[0] as f64,
                 c[1] as f64,
@@ -441,7 +441,9 @@ mod tests {
         let mut state = 7u64;
         let values: Vec<f64> = (0..64)
             .map(|_| {
-                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
                 (state >> 32) as f64
             })
             .collect();

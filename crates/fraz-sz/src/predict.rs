@@ -61,7 +61,7 @@ impl RegressionPlane {
     /// `block` iterates the block's values in raster order together with
     /// their local `(dz, dy, dx)` coordinates.  A tiny ridge term keeps the
     /// normal equations solvable for degenerate blocks (single row/column).
-    pub fn fit(points: &[( [usize; 3], f64 )]) -> Self {
+    pub fn fit(points: &[([usize; 3], f64)]) -> Self {
         // Normal equations A^T A b = A^T v with A rows [1, dz, dy, dx].
         let mut ata = [[0.0f64; 4]; 4];
         let mut atv = [0.0f64; 4];
@@ -180,7 +180,8 @@ mod tests {
         // A perfectly linear field is predicted exactly by the Lorenzo
         // stencil (away from the boundary).
         let dims = [4, 4, 4];
-        let f = |z: usize, y: usize, x: usize| 2.0 * z as f64 - 3.0 * y as f64 + 0.5 * x as f64 + 7.0;
+        let f =
+            |z: usize, y: usize, x: usize| 2.0 * z as f64 - 3.0 * y as f64 + 0.5 * x as f64 + 7.0;
         let mut grid = vec![0.0; 64];
         for z in 0..4 {
             for y in 0..4 {
@@ -206,7 +207,10 @@ mod tests {
         for dz in 0..6 {
             for dy in 0..6 {
                 for dx in 0..6 {
-                    let v = truth[0] + truth[1] * dz as f64 + truth[2] * dy as f64 + truth[3] * dx as f64;
+                    let v = truth[0]
+                        + truth[1] * dz as f64
+                        + truth[2] * dy as f64
+                        + truth[3] * dx as f64;
                     points.push(([dz, dy, dx], v));
                 }
             }
@@ -221,8 +225,9 @@ mod tests {
     #[test]
     fn regression_handles_degenerate_blocks() {
         // A single row (1-D block): dy and dz columns are constant zero.
-        let points: Vec<([usize; 3], f64)> =
-            (0..8).map(|dx| ([0, 0, dx], 3.0 + 2.0 * dx as f64)).collect();
+        let points: Vec<([usize; 3], f64)> = (0..8)
+            .map(|dx| ([0, 0, dx], 3.0 + 2.0 * dx as f64))
+            .collect();
         let plane = RegressionPlane::fit(&points);
         assert!((plane.predict(0, 0, 5) - 13.0).abs() < 1e-6);
         // A single point.

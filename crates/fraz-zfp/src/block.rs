@@ -37,12 +37,7 @@ pub fn block_origins(dims: [usize; 3]) -> Vec<[usize; 3]> {
 
 /// Gather a full 4^d block starting at `origin`, replicating edge values to
 /// pad partial blocks.  `block_dims` is the dataset dimensionality (1–3).
-pub fn gather(
-    values: &[f64],
-    dims: [usize; 3],
-    origin: [usize; 3],
-    block_dims: usize,
-) -> Vec<f64> {
+pub fn gather(values: &[f64], dims: [usize; 3], origin: [usize; 3], block_dims: usize) -> Vec<f64> {
     let n = BLOCK_EDGE.pow(block_dims as u32);
     let mut block = vec![0.0; n];
     let extent = |axis: usize| BLOCK_EDGE.min(dims[axis] - origin[axis]);
@@ -186,7 +181,14 @@ mod tests {
 
     #[test]
     fn block_exponent_brackets_magnitude() {
-        for &(v, expected) in &[(1.0, 1), (0.5, 0), (0.75, 0), (3.9, 2), (4.0, 3), (1e-3, -9)] {
+        for &(v, expected) in &[
+            (1.0, 1),
+            (0.5, 0),
+            (0.75, 0),
+            (3.9, 2),
+            (4.0, 3),
+            (1e-3, -9),
+        ] {
             let e = block_exponent(&[v, -v / 2.0, 0.0]).unwrap();
             assert_eq!(e, expected, "value {v}");
             assert!(v.abs() < (2.0f64).powi(e));
@@ -197,7 +199,9 @@ mod tests {
 
     #[test]
     fn fixed_point_roundtrip_is_accurate() {
-        let block: Vec<f64> = (0..64).map(|i| ((i as f64) * 0.37 - 11.0).sin() * 123.456).collect();
+        let block: Vec<f64> = (0..64)
+            .map(|i| ((i as f64) * 0.37 - 11.0).sin() * 123.456)
+            .collect();
         let emax = block_exponent(&block).unwrap();
         let ints = to_ints(&block, emax);
         let back = from_ints(&ints, emax);

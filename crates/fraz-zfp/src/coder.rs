@@ -172,7 +172,17 @@ mod tests {
 
     #[test]
     fn negabinary_roundtrip() {
-        for v in [0i64, 1, -1, 2, -2, 1234567, -987654321, i64::MAX / 2, i64::MIN / 2] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            2,
+            -2,
+            1234567,
+            -987654321,
+            i64::MAX / 2,
+            i64::MIN / 2,
+        ] {
             assert_eq!(uint_to_int(int_to_uint(v)), v);
         }
     }
@@ -196,7 +206,9 @@ mod tests {
 
     #[test]
     fn lossless_roundtrip_with_full_budget() {
-        let data: Vec<u64> = (0..64u64).map(|i| int_to_uint((i as i64 - 32) << 33)).collect();
+        let data: Vec<u64> = (0..64u64)
+            .map(|i| int_to_uint((i as i64 - 32) << 33))
+            .collect();
         let (decoded, written, consumed) = roundtrip(&data, u64::MAX / 2, 64);
         assert_eq!(decoded, data);
         assert_eq!(written, consumed);
@@ -224,7 +236,9 @@ mod tests {
 
     #[test]
     fn bit_budget_is_respected_and_consistent() {
-        let data: Vec<u64> = (0..64u64).map(|i| int_to_uint(((i * i) as i64) << 40)).collect();
+        let data: Vec<u64> = (0..64u64)
+            .map(|i| int_to_uint(((i * i) as i64) << 40))
+            .collect();
         for budget in [16u64, 64, 256, 1024] {
             let mut w = BitWriter::new();
             let written = encode_ints(&mut w, &data, budget, 64);
@@ -269,7 +283,9 @@ mod tests {
     #[test]
     fn partial_block_sizes_roundtrip() {
         for size in [1usize, 3, 4, 15, 16, 37, 64] {
-            let data: Vec<u64> = (0..size as u64).map(|i| int_to_uint((i as i64 - 5) << 30)).collect();
+            let data: Vec<u64> = (0..size as u64)
+                .map(|i| int_to_uint((i as i64 - 5) << 30))
+                .collect();
             let (decoded, _, _) = roundtrip(&data, u64::MAX / 2, 64);
             assert_eq!(decoded, data, "size {size}");
         }

@@ -315,7 +315,9 @@ pub fn decompress(data: &[u8]) -> Result<Dataset, ZfpError> {
         if nonzero {
             let emax = bits.read_bits(EBITS)? as i64 as i32 - EBIAS;
             if !(-2000..=2000).contains(&emax) {
-                return Err(ZfpError::Corrupt(format!("implausible block exponent {emax}")));
+                return Err(ZfpError::Corrupt(format!(
+                    "implausible block exponent {emax}"
+                )));
             }
             let max_prec = match mode {
                 ZfpMode::FixedAccuracy { tolerance } => {
@@ -412,8 +414,7 @@ mod tests {
             for y in 0..ny {
                 for x in 0..nx {
                     values.push(
-                        ((x as f32 * 0.2).sin() + (y as f32 * 0.15).cos()) * 5.0
-                            + z as f32 * 0.1,
+                        ((x as f32 * 0.2).sin() + (y as f32 * 0.15).cos()) * 5.0 + z as f32 * 0.1,
                     );
                 }
             }
@@ -447,7 +448,10 @@ mod tests {
             let payload_bits = (packed.len() as f64 - 60.0) * 8.0; // minus header estimate
             let expected_bits = bpv * original.len() as f64;
             let rel = (payload_bits - expected_bits).abs() / expected_bits;
-            assert!(rel < 0.05, "bpv {bpv}: payload {payload_bits} vs {expected_bits}");
+            assert!(
+                rel < 0.05,
+                "bpv {bpv}: payload {payload_bits} vs {expected_bits}"
+            );
             // And it must still decompress to the right shape.
             let restored = decompress(&packed).unwrap();
             assert_eq!(restored.len(), original.len());

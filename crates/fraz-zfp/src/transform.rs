@@ -197,7 +197,12 @@ mod tests {
             [0, 0, 0, 0],
             [1 << 8, 2 << 8, 3 << 8, 4 << 8],
             [-1000 << 10, 500 << 10, -250 << 10, 125 << 10],
-            [(i32::MAX as i64) << 8, (i32::MIN as i64) << 8, 7 << 8, -7 << 8],
+            [
+                (i32::MAX as i64) << 8,
+                (i32::MIN as i64) << 8,
+                7 << 8,
+                -7 << 8,
+            ],
             [1 << 40, -(1 << 41), 1 << 39, -(1 << 38)],
         ];
         for case in cases {
@@ -237,7 +242,10 @@ mod tests {
             let original: Vec<i64> = (0..n as i64).map(|i| (i * 97 - 31) << 20).collect();
             let mut block = original.clone();
             fwd_xform(&mut block, dims);
-            assert_ne!(block, original, "transform should change the data (d={dims})");
+            assert_ne!(
+                block, original,
+                "transform should change the data (d={dims})"
+            );
             inv_xform(&mut block, dims);
             for (a, b) in block.iter().zip(original.iter()) {
                 // Values are multiples of 2^20: the roundtrip is exact except

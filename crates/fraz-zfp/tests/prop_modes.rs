@@ -20,9 +20,8 @@ fn smooth3d(nz: usize, ny: usize, nx: usize, amp: f32, fx: f32, fy: f32) -> Vec<
     for z in 0..nz {
         for y in 0..ny {
             for x in 0..nx {
-                values.push(
-                    amp * ((x as f32 * fx).sin() + (y as f32 * fy).cos() + z as f32 * 0.05),
-                );
+                values
+                    .push(amp * ((x as f32 * fx).sin() + (y as f32 * fy).cos() + z as f32 * 0.05));
             }
         }
     }

@@ -33,7 +33,10 @@ fn main() {
     let storage_budget_bytes = archive_bytes / 12;
     let target_ratio = archive_bytes as f64 / storage_budget_bytes as f64;
     println!("archive size    : {:.2} MB", archive_bytes as f64 / 1e6);
-    println!("storage budget  : {:.2} MB", storage_budget_bytes as f64 / 1e6);
+    println!(
+        "storage budget  : {:.2} MB",
+        storage_budget_bytes as f64 / 1e6
+    );
     println!("required ratio  : {target_ratio:.1}:1");
     println!();
 

@@ -14,8 +14,8 @@
 //! ```
 
 use fraz::core::{FixedRatioSearch, SearchConfig};
-use fraz::data::DType;
 use fraz::data::synthetic;
+use fraz::data::DType;
 use fraz::pressio::registry;
 
 fn main() {
@@ -40,7 +40,11 @@ fn main() {
             .with_regions(6)
             .with_threads(3);
         let outcome = FixedRatioSearch::new(backend, config).run(&dataset);
-        let q = outcome.best.quality.as_ref().expect("final quality measured");
+        let q = outcome
+            .best
+            .quality
+            .as_ref()
+            .expect("final quality measured");
         println!(
             "{:<14} {:>8.1}x {:>10.3e} {:>8.2} {:>8.4} {:>10.4} {:>9}",
             format!("{name} (FRaZ)"),
@@ -62,13 +66,7 @@ fn main() {
     let q = outcome.quality.as_ref().unwrap();
     println!(
         "{:<14} {:>8.1}x {:>10.3e} {:>8.2} {:>8.4} {:>10.4} {:>9}",
-        "zfp-rate",
-        outcome.compression_ratio,
-        q.max_abs_error,
-        q.psnr,
-        q.ssim,
-        q.acf_error,
-        1,
+        "zfp-rate", outcome.compression_ratio, q.max_abs_error, q.psnr, q.ssim, q.acf_error, 1,
     );
 
     println!();

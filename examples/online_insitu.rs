@@ -30,7 +30,10 @@ fn main() {
         config,
     );
 
-    println!("in-situ stream: {} steps, target {target_ratio}:1 (±10%)\n", steps);
+    println!(
+        "in-situ stream: {} steps, target {target_ratio}:1 (±10%)\n",
+        steps
+    );
     println!(
         "{:>5} {:>12} {:>9} {:>10} {:>13} {:>8}",
         "step", "bound", "ratio", "on target", "compressions", "time"
@@ -53,7 +56,10 @@ fn main() {
         );
     }
     println!();
-    println!("on-target steps          : {:.0}%", controller.on_target_rate() * 100.0);
+    println!(
+        "on-target steps          : {:.0}%",
+        controller.on_target_rate() * 100.0
+    );
     println!(
         "mean compressions / step : {:.2} (1.0 is the steady-state ideal)",
         controller.mean_compressions_per_step()

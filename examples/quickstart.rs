@@ -34,11 +34,20 @@ fn main() {
     let outcome = search.run(&dataset);
 
     println!();
-    println!("target ratio          : {target_ratio}:1 (±{:.0}%)", tolerance * 100.0);
+    println!(
+        "target ratio          : {target_ratio}:1 (±{:.0}%)",
+        tolerance * 100.0
+    );
     println!("feasible              : {}", outcome.feasible);
     println!("recommended bound     : {:.6e}", outcome.error_bound);
-    println!("achieved ratio        : {:.2}:1", outcome.best.compression_ratio);
-    println!("bit rate              : {:.3} bits/value", outcome.best.bit_rate);
+    println!(
+        "achieved ratio        : {:.2}:1",
+        outcome.best.compression_ratio
+    );
+    println!(
+        "bit rate              : {:.3} bits/value",
+        outcome.best.bit_rate
+    );
     println!("compressor calls      : {}", outcome.evaluations);
     println!("search time           : {:.2?}", outcome.elapsed);
     if let Some(quality) = &outcome.best.quality {

@@ -77,7 +77,9 @@ fn all_error_bounded_backends_can_be_tuned_on_2d_data() {
         // Whatever bound FRaZ recommends must actually reproduce the
         // reported ratio when re-applied.
         let backend = registry::compressor(name).unwrap();
-        let check = backend.evaluate(&dataset, outcome.error_bound, false).unwrap();
+        let check = backend
+            .evaluate(&dataset, outcome.error_bound, false)
+            .unwrap();
         assert!(
             (check.compression_ratio - outcome.best.compression_ratio).abs() < 1e-9,
             "{name}: ratio not reproducible"
@@ -100,9 +102,13 @@ fn mgard_is_skipped_for_1d_applications_like_the_paper() {
 fn fraz_beats_fixed_rate_mode_on_quality_at_equal_ratio() {
     // The headline comparison (Figs 1 and 10): at (approximately) the same
     // compression ratio, FRaZ-tuned ZFP accuracy mode has higher PSNR than
-    // ZFP's built-in fixed-rate mode.
-    let app = synthetic::nyx(16, 24, 24, 1, 31);
-    let dataset = app.field("temperature", 0);
+    // ZFP's built-in fixed-rate mode.  The paper runs this on Hurricane's
+    // CLOUDf field, whose localized features are exactly what fixed-rate's
+    // uniform per-block budget handles poorly; on smooth fields (e.g. NYX
+    // temperature) the two modes are within noise of each other at the
+    // ratios this codec reaches, so the comparison would be a coin flip.
+    let app = synthetic::hurricane(8, 24, 24, 1, 31);
+    let dataset = app.field("CLOUDf", 0);
     let target = 20.0;
 
     // ZFP's accuracy mode expresses relatively few distinct ratios (the
@@ -121,7 +127,9 @@ fn fraz_beats_fixed_rate_mode_on_quality_at_equal_ratio() {
 
     let rate_backend = registry::compressor("zfp-rate").unwrap();
     let bits_per_value = 32.0 / accuracy.best.compression_ratio;
-    let rate = rate_backend.evaluate(&dataset, bits_per_value, true).unwrap();
+    let rate = rate_backend
+        .evaluate(&dataset, bits_per_value, true)
+        .unwrap();
     let rate_quality = rate.quality.unwrap();
 
     assert!(

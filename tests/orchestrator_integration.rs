@@ -29,7 +29,11 @@ fn time_series_mostly_reuses_predictions() {
     .unwrap();
     let outcome = orch.run_series("TCf", &series, 2);
     assert_eq!(outcome.steps.len(), 6);
-    assert!(outcome.convergence_rate() >= 0.5, "{}", outcome.convergence_rate());
+    assert!(
+        outcome.convergence_rate() >= 0.5,
+        "{}",
+        outcome.convergence_rate()
+    );
     // Temporal coherence means training runs on only a minority of steps
     // after the first (the paper retrained 4 of 48 on Hurricane-CLOUD).
     assert!(
@@ -126,8 +130,16 @@ fn more_workers_do_not_change_results_only_speed() {
     // and converge on (at least) the clear majority of them.
     for (a, b) in narrow.fields.iter().zip(wide.fields.iter()) {
         assert_eq!(a.steps.len(), b.steps.len());
-        assert!(a.convergence_rate() >= 0.5, "narrow: {}", a.convergence_rate());
-        assert!(b.convergence_rate() >= 0.5, "wide: {}", b.convergence_rate());
+        assert!(
+            a.convergence_rate() >= 0.5,
+            "narrow: {}",
+            a.convergence_rate()
+        );
+        assert!(
+            b.convergence_rate() >= 0.5,
+            "wide: {}",
+            b.convergence_rate()
+        );
         for (sa, sb) in a.steps.iter().zip(b.steps.iter()) {
             if sa.feasible && sb.feasible {
                 assert!((sa.best.compression_ratio - 6.0).abs() <= 0.9 + 1e-9);

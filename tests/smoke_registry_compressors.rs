@@ -1,0 +1,52 @@
+//! Smoke test: `FixedRatioSearch` end-to-end on a tiny synthetic field for
+//! each registered error-bounded compressor.
+//!
+//! This is the repo's canary — if any layer of the stack (data generation,
+//! codec, pressio adapter, search) breaks, this fails in seconds.  Each
+//! backend gets a target that is feasible for it on the probe field; ZFP's
+//! accuracy mode needs a wider tolerance because its achievable ratios are
+//! a step function of the bound (paper §VI-B3).
+
+use fraz::core::{FixedRatioSearch, SearchConfig};
+use fraz::data::synthetic;
+use fraz::pressio::registry;
+
+#[test]
+fn every_registered_compressor_hits_the_ratio_window() {
+    // A small hurricane-like 3-D field: 3-D is supported by all three
+    // codec families (MGARD rejects 1-D).
+    let dataset = synthetic::hurricane(8, 16, 16, 1, 13).field("TCf", 0);
+
+    for (name, target, tolerance) in [("sz", 8.0, 0.10), ("zfp", 8.0, 0.25), ("mgard", 8.0, 0.10)] {
+        let compressor =
+            registry::compressor(name).unwrap_or_else(|| panic!("registry must know {name}"));
+        let config = SearchConfig::new(target, tolerance)
+            .with_regions(4)
+            .with_threads(2);
+        let outcome = FixedRatioSearch::new(compressor, config).run(&dataset);
+
+        assert!(
+            outcome.feasible,
+            "{name}: search should be feasible at {target}:1 ±{tolerance}"
+        );
+        assert!(outcome.evaluations >= 1, "{name}: no evaluations recorded");
+
+        let ratio = outcome.best.compression_ratio;
+        let (lo, hi) = (target * (1.0 - tolerance), target * (1.0 + tolerance));
+        assert!(
+            ratio >= lo - 1e-9 && ratio <= hi + 1e-9,
+            "{name}: achieved ratio {ratio:.3} outside the tolerance band [{lo:.3}, {hi:.3}]"
+        );
+
+        // The recommended bound must reproduce the reported ratio exactly
+        // (FRaZ's training-then-apply contract).
+        let check = registry::compressor(name)
+            .unwrap()
+            .evaluate(&dataset, outcome.error_bound, false)
+            .unwrap();
+        assert!(
+            (check.compression_ratio - ratio).abs() < 1e-9,
+            "{name}: recommended bound does not reproduce the ratio"
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A small wall-clock harness exposing the API surface the FRaZ benches
+//! use: `Criterion::benchmark_group`, `sample_size`, `throughput`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`, `BenchmarkId`,
+//! `Throughput`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! No statistics beyond mean-of-samples, no HTML reports, no warm-up
+//! model — each benchmark runs `sample_size` timed samples after one
+//! untimed call and prints mean time (and derived throughput) per sample.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Re-export module mirroring `criterion::measurement` imports if needed.
+pub mod measurement {}
+
+/// Work-per-iteration declaration used to derive throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed call to touch caches/allocations.
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.total += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work so results include throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    fn report(&mut self, id: &BenchmarkId, bencher: &Bencher) {
+        if bencher.iterations == 0 {
+            println!("{}/{}: no samples", self.name, id.id);
+            return;
+        }
+        let mean = bencher.total.as_secs_f64() / bencher.iterations as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                format!(" ({:.1} MiB/s)", bytes as f64 / mean / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) => {
+                format!(" ({:.0} elem/s)", n as f64 / mean)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{}: {:.3} ms/iter{} [{} samples]",
+            self.name,
+            id.id,
+            mean * 1e3,
+            rate,
+            bencher.iterations,
+        );
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// End the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name_owned = name.to_string();
+        self.benchmark_group(name_owned).bench_function(name, f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

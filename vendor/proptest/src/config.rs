@@ -1,0 +1,23 @@
+//! Test-runner configuration.
+
+/// How a `proptest!` block runs its cases.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than real proptest's 256 because the workspace's
+    /// heavier properties each run a full codec round-trip.
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}

@@ -1,0 +1,102 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Reimplements, without any registry dependency, the subset of proptest
+//! the workspace's property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map` and `boxed`,
+//! * range strategies for the primitive numeric types, tuple strategies,
+//!   [`strategy::Just`], weighted unions via [`prop_oneof!`],
+//! * [`collection::vec`] with exact or ranged sizes,
+//! * [`arbitrary::any`] for primitives, [`num::f32::NORMAL`],
+//! * the [`proptest!`] macro, `prop_assert!`, `prop_assert_eq!`, and
+//!   `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, deliberately accepted for this
+//! workspace: cases are generated from a seed derived from the test's
+//! module path and name (fully deterministic run-to-run), and failing
+//! inputs are **not shrunk** — the panic message reports the case number
+//! so a failure can be replayed under a debugger by seed.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod config;
+pub mod num;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Assert inside a property test (no early-return machinery in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Weighted or unweighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Define property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` becomes a `#[test]` that
+/// draws `config.cases` samples and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($config) $($rest)*);
+    };
+    (@with ($config:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strategy:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::config::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::new_value(
+                        &($strategy), &mut rng);)+
+                    let run = || { $body };
+                    if let Err(panic) = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(run)) {
+                        eprintln!(
+                            "proptest case {case}/{} failed in {}",
+                            config.cases,
+                            stringify!($name),
+                        );
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::config::ProptestConfig::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,51 @@
+//! Numeric sub-strategies (`proptest::num::f32::NORMAL`, ...).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// `f32` strategies.
+pub mod f32 {
+    use super::*;
+
+    /// Strategy over normal (finite, non-zero, non-subnormal) `f32`s of
+    /// either sign — proptest's `num::f32::NORMAL` class.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct NormalF32;
+
+    /// The canonical instance, used as `proptest::num::f32::NORMAL`.
+    pub const NORMAL: NormalF32 = NormalF32;
+
+    impl Strategy for NormalF32 {
+        type Value = core::primitive::f32;
+        fn new_value(&self, rng: &mut TestRng) -> core::primitive::f32 {
+            let bits = rng.next_u64();
+            let sign = ((bits >> 63) as u32) << 31;
+            // Exponent in 1..=254 (normal), mantissa arbitrary.
+            let exponent = (1 + (bits >> 32) as u32 % 254) << 23;
+            let mantissa = (bits as u32) & 0x007F_FFFF;
+            core::primitive::f32::from_bits(sign | exponent | mantissa)
+        }
+    }
+}
+
+/// `f64` strategies.
+pub mod f64 {
+    use super::*;
+
+    /// Strategy over normal (finite, non-zero, non-subnormal) `f64`s.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct NormalF64;
+
+    /// The canonical instance, used as `proptest::num::f64::NORMAL`.
+    pub const NORMAL: NormalF64 = NormalF64;
+
+    impl Strategy for NormalF64 {
+        type Value = core::primitive::f64;
+        fn new_value(&self, rng: &mut TestRng) -> core::primitive::f64 {
+            let sign = rng.next_u64() & (1 << 63);
+            let exponent = 1 + rng.next_u64() % 2046;
+            let mantissa = rng.next_u64() & ((1u64 << 52) - 1);
+            core::primitive::f64::from_bits(sign | (exponent << 52) | mantissa)
+        }
+    }
+}

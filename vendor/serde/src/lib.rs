@@ -1,0 +1,188 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The FRaZ workspace is built in environments without access to crates.io,
+//! so this vendored shim provides the small serde surface the workspace
+//! actually uses:
+//!
+//! * [`Serialize`] — converts a value into the JSON [`value::Value`] model
+//!   (the only serialization format the workspace emits),
+//! * [`Deserialize`] — a marker trait; no workspace code deserializes yet,
+//!   so derived impls are markers until a real wire format is needed,
+//! * `#[derive(Serialize, Deserialize)]` — re-exported from the local
+//!   `serde_derive` proc-macro shim.
+//!
+//! The trait shape is intentionally simpler than real serde (no generic
+//! `Serializer` visitor); swapping the real crates back in only requires
+//! restoring the registry dependencies, since all workspace code sticks to
+//! the derive + `serde_json::{json!, to_value, to_string}` surface.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use value::{Map, Number, Value};
+
+/// Types that can be converted into the JSON [`Value`] model.
+pub trait Serialize {
+    /// Convert `self` into a JSON value tree.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Marker for types that could be reconstructed from serialized form.
+///
+/// The workspace currently has no deserialization call sites; the derive
+/// macro emits an empty impl so `#[derive(Deserialize)]` stays meaningful
+/// as a declaration of intent (and a future upgrade point).
+pub trait Deserialize {}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+serialize_unsigned!(u8, u16, u32, u64, usize);
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(k.as_ref(), v.to_json_value());
+        }
+        Value::Object(map)
+    }
+}
+impl<K, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        // Sort keys so serialization is deterministic regardless of hasher.
+        let mut entries: Vec<(&str, &V)> = self.iter().map(|(k, v)| (k.as_ref(), v)).collect();
+        entries.sort_by_key(|(k, _)| *k);
+        let mut map = Map::new();
+        for (k, v) in entries {
+            map.insert(k, v.to_json_value());
+        }
+        Value::Object(map)
+    }
+}
+impl<K, V: Deserialize> Deserialize for std::collections::HashMap<K, V> {}
+
+impl Serialize for std::time::Duration {
+    /// `{"secs": u64, "nanos": u32}`, matching real serde's representation.
+    fn to_json_value(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("secs", Value::Number(Number::from_u64(self.as_secs())));
+        map.insert(
+            "nanos",
+            Value::Number(Number::from_u64(self.subsec_nanos() as u64)),
+        );
+        Value::Object(map)
+    }
+}
+impl Deserialize for std::time::Duration {}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+    )+};
+}
+
+serialize_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);

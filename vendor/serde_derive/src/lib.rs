@@ -1,0 +1,290 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` by parsing
+//! the item token stream directly with `proc_macro` (no `syn`/`quote`,
+//! which are unavailable without a registry). Supports exactly the item
+//! shapes present in this workspace:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize as their inner value, wider tuples
+//!   as arrays),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (serde's externally-tagged
+//!   representation: `"Variant"`, `{"Variant": inner}`, `{"Variant": [..]}`,
+//!   `{"Variant": {..}}`).
+//!
+//! Generic items are rejected with a compile error — none exist in the
+//! workspace, and keeping the parser non-generic keeps it auditable.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the item the derive is attached to.
+enum Item {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Tuple struct with `arity` unnamed fields.
+    TupleStruct { name: String, arity: usize },
+    /// Unit struct.
+    UnitStruct { name: String },
+    /// Enum (any mix of variant shapes).
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`) prefixes.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a group's tokens into top-level comma-separated chunks.
+///
+/// Angle brackets are not token groups, so generic arguments like
+/// `BTreeMap<String, OptionValue>` must be tracked by depth to avoid
+/// splitting inside them.
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for tt in tokens {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                current.push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+                current.push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(std::mem::take(&mut current));
+            }
+            _ => current.push(tt),
+        }
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Extract the field name from one named-field chunk (`[attrs] [vis] name: Ty`).
+fn field_name(chunk: &[TokenTree]) -> Option<String> {
+    let i = skip_attrs_and_vis(chunk, 0);
+    match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the vendored serde_derive shim does not support generic items ({name})"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = split_commas(g.stream().into_iter().collect())
+                    .iter()
+                    .filter_map(|c| field_name(c))
+                    .collect();
+                Ok(Item::Struct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_commas(g.stream().into_iter().collect()).len();
+                Ok(Item::TupleStruct { name, arity })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body for {name}: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let mut variants = Vec::new();
+                for chunk in split_commas(g.stream().into_iter().collect()) {
+                    let j = skip_attrs_and_vis(&chunk, 0);
+                    let vname = match chunk.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        None => continue,
+                        other => return Err(format!("bad variant in {name}: {other:?}")),
+                    };
+                    match chunk.get(j + 1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let arity = split_commas(g.stream().into_iter().collect()).len();
+                            variants.push(Variant::Tuple(vname, arity));
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            let fields = split_commas(g.stream().into_iter().collect())
+                                .iter()
+                                .filter_map(|c| field_name(c))
+                                .collect();
+                            variants.push(Variant::Struct(vname, fields));
+                        }
+                        _ => variants.push(Variant::Unit(vname)),
+                    }
+                }
+                Ok(Item::Enum { name, variants })
+            }
+            other => Err(format!("unsupported enum body for {name}: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// `#[derive(Serialize)]` — emits an `impl serde::Serialize` building the
+/// externally-tagged JSON representation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+
+    let (name, body) = match &item {
+        Item::Struct { name, fields } => {
+            let mut body = String::from("let mut map = serde::value::Map::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "map.insert({f:?}, serde::Serialize::to_json_value(&self.{f}));\n"
+                ));
+            }
+            body.push_str("serde::value::Value::Object(map)");
+            (name.clone(), body)
+        }
+        Item::TupleStruct { name, arity: 1 } => (
+            name.clone(),
+            "serde::Serialize::to_json_value(&self.0)".to_string(),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            (
+                name.clone(),
+                format!("serde::value::Value::Array(vec![{}])", items.join(", ")),
+            )
+        }
+        Item::UnitStruct { name } => (name.clone(), "serde::value::Value::Null".to_string()),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => arms.push_str(&format!(
+                        "{name}::{vn} => serde::value::Value::String({vn:?}.to_string()),\n"
+                    )),
+                    Variant::Tuple(vn, arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "serde::Serialize::to_json_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!("serde::value::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut map = serde::value::Map::new();\n\
+                             map.insert({vn:?}, {inner});\n\
+                             serde::value::Value::Object(map)\n\
+                             }}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let mut inner = String::from("let mut inner = serde::value::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "inner.insert({f:?}, serde::Serialize::to_json_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {fields} }} => {{\n\
+                             {inner}\
+                             let mut map = serde::value::Map::new();\n\
+                             map.insert({vn:?}, serde::value::Value::Object(inner));\n\
+                             serde::value::Value::Object(map)\n\
+                             }}\n",
+                            fields = fields.join(", "),
+                        ));
+                    }
+                }
+            }
+            (name.clone(), format!("match self {{\n{arms}}}"))
+        }
+    };
+
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> serde::value::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// `#[derive(Deserialize)]` — emits the marker impl (see the `serde` shim's
+/// docs: the workspace has no deserialization call sites yet).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let name = match &item {
+        Item::Struct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name.clone(),
+    };
+    format!("impl serde::Deserialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}

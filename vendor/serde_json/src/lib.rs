@@ -1,0 +1,158 @@
+//! Offline stand-in for `serde_json`, over the vendored `serde` shim.
+//!
+//! Provides exactly what the workspace calls: [`Value`], [`to_value`],
+//! [`to_string`], and the [`json!`] literal macro (a tt-muncher in the same
+//! style as the real crate's). Output is compact single-line JSON, suitable
+//! for the `.jsonl` experiment records.
+
+pub use serde::value::{Map, Number, Value};
+
+use std::fmt;
+
+/// Serialization error.
+///
+/// The shim's [`serde::Serialize`] is infallible, so this is never actually
+/// produced; it exists to keep the `Result`-shaped call sites identical to
+/// real serde_json.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert any [`serde::Serialize`] value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json_value())
+}
+
+/// Render any [`serde::Serialize`] value as compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_string())
+}
+
+/// Build a [`Value`] from a JSON literal.
+///
+/// Supports the same surface as the real macro for the shapes used in this
+/// workspace: `null`, booleans, numbers, strings, arrays, objects with
+/// string-literal keys, and arbitrary `Serialize` expressions in value
+/// position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => {{
+        let mut array: Vec<$crate::Value> = Vec::new();
+        $crate::json_internal_array!(array; $($tt)*);
+        $crate::Value::Array(array)
+    }};
+    ({ $($tt:tt)* }) => {{
+        let mut object = $crate::Map::new();
+        $crate::json_internal_object!(object () ($($tt)*));
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).unwrap_or($crate::Value::Null)
+    };
+}
+
+/// Array-element muncher for [`json!`] — not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_array {
+    ($array:ident;) => {};
+    ($array:ident; [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $array.push($crate::json!([ $($inner)* ]));
+        $crate::json_internal_array!($array; $($($rest)*)?);
+    };
+    ($array:ident; { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $array.push($crate::json!({ $($inner)* }));
+        $crate::json_internal_array!($array; $($($rest)*)?);
+    };
+    ($array:ident; null $(, $($rest:tt)*)?) => {
+        $array.push($crate::Value::Null);
+        $crate::json_internal_array!($array; $($($rest)*)?);
+    };
+    ($array:ident; $value:expr $(, $($rest:tt)*)?) => {
+        $array.push($crate::json!($value));
+        $crate::json_internal_array!($array; $($($rest)*)?);
+    };
+}
+
+/// Object-entry muncher for [`json!`] — not public API.
+///
+/// State: `(accumulated key tokens) (remaining tokens)`. Key tokens are
+/// munched one tt at a time until a top-level `:` is found, then the value
+/// is dispatched on its leading token.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_object {
+    ($object:ident () ()) => {};
+    ($object:ident ($($key:tt)+) (: [ $($inner:tt)* ] $(, $($rest:tt)*)?)) => {
+        $object.insert($($key)+, $crate::json!([ $($inner)* ]));
+        $crate::json_internal_object!($object () ($($($rest)*)?));
+    };
+    ($object:ident ($($key:tt)+) (: { $($inner:tt)* } $(, $($rest:tt)*)?)) => {
+        $object.insert($($key)+, $crate::json!({ $($inner)* }));
+        $crate::json_internal_object!($object () ($($($rest)*)?));
+    };
+    ($object:ident ($($key:tt)+) (: null $(, $($rest:tt)*)?)) => {
+        $object.insert($($key)+, $crate::Value::Null);
+        $crate::json_internal_object!($object () ($($($rest)*)?));
+    };
+    ($object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*)) => {
+        $object.insert($($key)+, $crate::json!($value));
+        $crate::json_internal_object!($object () ($($rest)*));
+    };
+    ($object:ident ($($key:tt)+) (: $value:expr)) => {
+        $object.insert($($key)+, $crate::json!($value));
+    };
+    ($object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*)) => {
+        $crate::json_internal_object!($object ($($key)* $tt) ($($rest)*));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn literals_and_nesting() {
+        let v = json!({
+            "name": "fraz",
+            "ratio": 10.0,
+            "iters": 3,
+            "ok": true,
+            "missing": null,
+            "arr": [1, 2.5, "x", null, [3]],
+            "nested": {"a": 1},
+        });
+        assert_eq!(
+            v.to_string(),
+            r#"{"name":"fraz","ratio":10.0,"iters":3,"ok":true,"missing":null,"arr":[1,2.5,"x",null,[3]],"nested":{"a":1}}"#
+        );
+    }
+
+    #[test]
+    fn expressions_in_value_position() {
+        let n = 4usize;
+        let label = String::from("run");
+        let v = json!({"n": n, "n2": n * 2, "label": label});
+        assert_eq!(v.to_string(), r#"{"n":4,"n2":8,"label":"run"}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(json!(f64::NAN).to_string(), "null");
+        assert_eq!(json!(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = json!({"s": "a\"b\\c\nd"});
+        assert_eq!(v.to_string(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+    }
+}
