@@ -37,7 +37,7 @@ fn ablation_benchmarks(c: &mut Criterion) {
                     use_cutoff,
                     ..base_config()
                 };
-                FixedRatioSearch::new(registry::compressor("sz").unwrap(), config).run(&dataset)
+                FixedRatioSearch::new(registry::build_default("sz").unwrap(), config).run(&dataset)
             });
         });
     }
@@ -72,7 +72,7 @@ fn ablation_benchmarks(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(regions), &regions, |b, &r| {
             b.iter(|| {
                 let config = base_config().with_regions(r).with_threads(r);
-                FixedRatioSearch::new(registry::compressor("sz").unwrap(), config).run(&dataset)
+                FixedRatioSearch::new(registry::build_default("sz").unwrap(), config).run(&dataset)
             });
         });
     }
@@ -88,7 +88,7 @@ fn ablation_benchmarks(c: &mut Criterion) {
                     scale,
                     ..base_config()
                 };
-                FixedRatioSearch::new(registry::compressor("sz").unwrap(), config).run(&dataset)
+                FixedRatioSearch::new(registry::build_default("sz").unwrap(), config).run(&dataset)
             });
         });
     }

@@ -20,7 +20,7 @@ fn codec_benchmarks(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(dataset.byte_size() as u64));
     group.sample_size(10);
     for name in ["sz", "zfp", "mgard"] {
-        let backend = registry::compressor(name).unwrap();
+        let backend = registry::build_default(name).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(name), &dataset, |b, d| {
             b.iter(|| backend.compress(d, bound).unwrap());
         });
@@ -31,7 +31,7 @@ fn codec_benchmarks(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(dataset.byte_size() as u64));
     group.sample_size(10);
     for name in ["sz", "zfp", "mgard"] {
-        let backend = registry::compressor(name).unwrap();
+        let backend = registry::build_default(name).unwrap();
         let compressed = backend.compress(&dataset, bound).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(name), &compressed, |b, data| {
             b.iter(|| backend.decompress(data).unwrap());

@@ -28,7 +28,8 @@ fn search_benchmarks(c: &mut Criterion) {
                         max_iterations: 12,
                         ..SearchConfig::new(t, 0.1).with_regions(4).with_threads(4)
                     };
-                    FixedRatioSearch::new(registry::compressor("sz").unwrap(), config).run(&dataset)
+                    FixedRatioSearch::new(registry::build_default("sz").unwrap(), config)
+                        .run(&dataset)
                 });
             },
         );
@@ -42,7 +43,7 @@ fn search_benchmarks(c: &mut Criterion) {
         measure_final_quality: false,
         ..SearchConfig::new(10.0, 0.1).with_regions(4).with_threads(4)
     };
-    let search = FixedRatioSearch::new(registry::compressor("sz").unwrap(), config);
+    let search = FixedRatioSearch::new(registry::build_default("sz").unwrap(), config);
     let trained = search.run(&dataset);
     group.bench_function("with_good_prediction", |b| {
         b.iter(|| search.run_with_prediction(&dataset, Some(trained.error_bound)));

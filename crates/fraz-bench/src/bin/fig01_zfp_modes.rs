@@ -23,8 +23,8 @@ fn main() {
     let dataset = workloads::hurricane(scale).field("TCf", 0);
     println!("dataset: {dataset}\n");
 
-    let accuracy = registry::compressor("zfp").unwrap();
-    let fixed_rate = registry::compressor("zfp-rate").unwrap();
+    let accuracy = registry::build_default("zfp").unwrap();
+    let fixed_rate = registry::build_default("zfp-rate").unwrap();
 
     // ---- (b) rate distortion: sweep bit rates. ----
     let mut table = Table::new(&["bit rate", "PSNR zfp(accuracy)", "PSNR zfp(fixed-rate)"]);
@@ -40,7 +40,7 @@ fn main() {
             .with_regions(6)
             .with_threads(6);
         let acc_outcome =
-            FixedRatioSearch::new(registry::compressor("zfp").unwrap(), config).run(&dataset);
+            FixedRatioSearch::new(registry::build_default("zfp").unwrap(), config).run(&dataset);
         let acc_quality = acc_outcome.best.quality.clone().unwrap();
         let rate_quality = rate_outcome.quality.clone().unwrap();
         table.row(vec![
@@ -74,7 +74,7 @@ fn main() {
     let config = SearchConfig::new(50.0, 0.15)
         .with_regions(6)
         .with_threads(6);
-    let acc = FixedRatioSearch::new(registry::compressor("zfp").unwrap(), config).run(&dataset);
+    let acc = FixedRatioSearch::new(registry::build_default("zfp").unwrap(), config).run(&dataset);
     let acc_q = acc.best.quality.clone().unwrap();
     let rate = fixed_rate
         .evaluate(&dataset, 32.0 / acc.best.compression_ratio, true)

@@ -23,7 +23,7 @@ fn main() {
     let dataset = workloads::hurricane(scale).field("QCLOUDf.log10", 0);
     println!("dataset: {dataset}\n");
 
-    let sz = registry::compressor("sz").unwrap();
+    let sz = registry::build_default("sz").unwrap();
     let points = scale.pick(56, 112);
     let upper = 0.55 * dataset.stats().value_range() / 8.0; // comparable span to the paper's 0–0.55 on log10 data
     let mut table = Table::new(&["error bound", "compression ratio"]);

@@ -23,7 +23,7 @@ fn main() {
         scale.label()
     );
     let dataset = workloads::hurricane(scale).field("TCf", 0);
-    let zfp = registry::compressor("zfp").unwrap();
+    let zfp = registry::build_default("zfp").unwrap();
 
     let target_ratio = 15.0;
     let tolerance = 0.1;

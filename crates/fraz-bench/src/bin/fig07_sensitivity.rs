@@ -37,7 +37,7 @@ fn main() {
 
     // Estimate the per-call compression time once, to split "total" vs
     // "compression" time the way the paper's stacked bars do.
-    let sz = registry::compressor("sz").unwrap();
+    let sz = registry::build_default("sz").unwrap();
     let probe_bound = series[0].stats().value_range() * 1e-3;
     let probe_start = Instant::now();
     let probe_runs = 3;

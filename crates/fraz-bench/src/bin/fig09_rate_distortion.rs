@@ -43,7 +43,7 @@ fn main() {
             let target_ratio = 32.0 / bit_rate;
             let mut cells = vec![format!("{bit_rate:.1}")];
             for backend_name in ["sz", "zfp", "zfp-rate", "mgard"] {
-                let backend = registry::compressor(backend_name).unwrap();
+                let backend = registry::build_default(backend_name).unwrap();
                 if !backend.supports_dims(&dataset.dims) {
                     cells.push("-".into());
                     continue;

@@ -85,7 +85,7 @@ fn main() {
 
     // FRaZ-tuned error-bounded compressors.
     for name in ["sz", "zfp", "mgard"] {
-        let backend = registry::compressor(name).unwrap();
+        let backend = registry::build_default(name).unwrap();
         if !backend.supports_dims(&dataset.dims) {
             continue;
         }
@@ -108,7 +108,7 @@ fn main() {
     }
 
     // ZFP fixed-rate at the equivalent rate.
-    let rate_backend = registry::compressor("zfp-rate").unwrap();
+    let rate_backend = registry::build_default("zfp-rate").unwrap();
     let bits_per_value = 32.0 / target_ratio;
     let compressed = rate_backend.compress(&dataset, bits_per_value).unwrap();
     let restored = rate_backend.decompress(&compressed).unwrap();

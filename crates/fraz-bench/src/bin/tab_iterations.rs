@@ -22,7 +22,7 @@ fn main() {
         scale.label()
     );
     let dataset = workloads::hurricane(scale).field("CLOUDf", 0);
-    let sz = registry::compressor("sz").unwrap();
+    let sz = registry::build_default("sz").unwrap();
     let (lo, hi) = sz.bound_range(&dataset);
     println!("dataset: {dataset}");
     println!("error-bound range: [{lo:.3e}, {hi:.3e}]\n");

@@ -35,7 +35,7 @@
 //! use fraz_pressio::registry;
 //!
 //! let dataset = synthetic::hurricane(8, 16, 16, 1, 42).field("TCf", 0);
-//! let compressor = registry::compressor("sz").unwrap();
+//! let compressor = registry::build_default("sz").unwrap();
 //! // Ask for 10:1 within 10 %.
 //! let config = SearchConfig::new(10.0, 0.1).with_regions(4).with_threads(2);
 //! let outcome = FixedRatioSearch::new(compressor, config).run(&dataset);
@@ -71,7 +71,7 @@ mod tests {
         // The README / crate-level example, kept as a compiled test so the
         // documented entry points cannot drift.
         let dataset = fraz_data::synthetic::hurricane(6, 12, 12, 1, 1).field("TCf", 0);
-        let compressor = registry::compressor("zfp").unwrap();
+        let compressor = registry::build_default("zfp").unwrap();
         let config = SearchConfig::new(6.0, 0.2).with_regions(3).with_threads(1);
         let outcome = FixedRatioSearch::new(compressor, config).run(&dataset);
         assert!(outcome.best.compression_ratio > 1.0);

@@ -17,6 +17,7 @@
 //!   reports per-step telemetry so the producer can react (e.g. fall back to
 //!   a different compressor if the target keeps being infeasible).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -102,8 +103,9 @@ pub struct OnlineController {
 }
 
 impl OnlineController {
-    /// Create a controller that owns the given compressor backend.
-    pub fn new(compressor: Box<dyn Compressor>, config: OnlineControllerConfig) -> Self {
+    /// Create a controller over the given compressor backend (owned box or
+    /// shared handle).
+    pub fn new(compressor: impl Into<Arc<dyn Compressor>>, config: OnlineControllerConfig) -> Self {
         let mut calibration = config.calibration.clone();
         calibration.max_error_bound = config.max_error_bound;
         let loss = RatioLoss::new(config.target_ratio, config.tolerance);
@@ -249,7 +251,7 @@ mod tests {
 
     fn controller(target: f64) -> OnlineController {
         OnlineController::new(
-            registry::compressor("sz").unwrap(),
+            registry::build_default("sz").unwrap(),
             OnlineControllerConfig::new(target, 0.1),
         )
     }
@@ -285,7 +287,7 @@ mod tests {
         let ceiling = app.field("FLDSC", 0).stats().value_range() * 1e-3;
         let mut config = OnlineControllerConfig::new(50.0, 0.1);
         config.max_error_bound = Some(ceiling);
-        let mut ctl = OnlineController::new(registry::compressor("sz").unwrap(), config);
+        let mut ctl = OnlineController::new(registry::build_default("sz").unwrap(), config);
         for t in 0..app.timesteps() {
             let frame = app.field("FLDSC", t);
             let (_, report) = ctl.compress_step(&frame);

@@ -16,13 +16,15 @@
 //! substitution rationale) with a `total_workers` knob standing in for the
 //! paper's core counts.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use fraz_data::Dataset;
-use fraz_pressio::registry;
+use fraz_pressio::registry::{self, Registry, RegistryError};
+use fraz_pressio::{Compressor, Options};
 
 use crate::search::{FixedRatioSearch, SearchConfig, SearchOutcome};
 
@@ -124,23 +126,52 @@ impl OrchestratorConfig {
     }
 }
 
-/// The parallel orchestrator for one compressor backend (selected by name so
-/// each worker thread can construct its own handle).
+/// The parallel orchestrator for one compressor backend.
+///
+/// Holds a shared `Arc<dyn Compressor>` handle: `Compressor` is `Send +
+/// Sync`, so every field worker drives the same backend instance.
 pub struct Orchestrator {
-    compressor_name: String,
+    compressor: Arc<dyn Compressor>,
     config: OrchestratorConfig,
 }
 
 impl Orchestrator {
-    /// Create an orchestrator for the named registry backend.
+    /// Create an orchestrator for a backend from the process-wide default
+    /// registry, with default codec settings.
     ///
-    /// Returns `None` if the backend name is unknown.
+    /// Returns `None` if the backend name is unknown.  Use
+    /// [`Orchestrator::from_registry`] for validated options and a real
+    /// error, or [`Orchestrator::with_compressor`] to bring your own
+    /// backend.
     pub fn new(compressor_name: &str, config: OrchestratorConfig) -> Option<Self> {
-        registry::compressor(compressor_name)?;
-        Some(Self {
-            compressor_name: compressor_name.to_string(),
+        let compressor = registry::build_default(compressor_name).ok()?;
+        Some(Self::with_compressor(compressor, config))
+    }
+
+    /// Create an orchestrator over an already-constructed backend (owned
+    /// box or shared handle).
+    pub fn with_compressor(
+        compressor: impl Into<Arc<dyn Compressor>>,
+        config: OrchestratorConfig,
+    ) -> Self {
+        Self {
+            compressor: compressor.into(),
             config,
-        })
+        }
+    }
+
+    /// Create an orchestrator by building `name` from `registry` with the
+    /// given (validated) options.
+    pub fn from_registry(
+        registry: &Registry,
+        name: &str,
+        options: &Options,
+        config: OrchestratorConfig,
+    ) -> Result<Self, RegistryError> {
+        Ok(Self::with_compressor(
+            registry.build(name, options)?,
+            config,
+        ))
     }
 
     /// Borrow the configuration.
@@ -148,14 +179,17 @@ impl Orchestrator {
         &self.config
     }
 
+    /// Borrow the backend every worker shares.
+    pub fn compressor(&self) -> &dyn Compressor {
+        self.compressor.as_ref()
+    }
+
     fn make_search(&self, threads: usize) -> FixedRatioSearch {
-        let compressor =
-            registry::compressor(&self.compressor_name).expect("backend existed at construction");
         let search_config = SearchConfig {
             threads,
             ..self.config.search.clone()
         };
-        FixedRatioSearch::new(compressor, search_config)
+        FixedRatioSearch::new(Arc::clone(&self.compressor), search_config)
     }
 
     /// Tune one field's time series sequentially, reusing the previous
@@ -335,6 +369,29 @@ mod tests {
             ..config.clone()
         };
         assert_eq!(small.schedule(5), (1, 1));
+    }
+
+    #[test]
+    fn from_registry_validates_and_with_compressor_shares() {
+        let registry = Registry::with_builtins();
+        let config = || OrchestratorConfig::new(quick_search(8.0));
+        let orch = Orchestrator::from_registry(&registry, "sz", &Options::new(), config()).unwrap();
+        assert_eq!(orch.compressor().name(), "sz");
+        // Bad options surface as a real error, not a silent None.
+        let err = Orchestrator::from_registry(
+            &registry,
+            "sz",
+            &Options::new().with("sz:blok_size", 4u64),
+            config(),
+        );
+        assert!(err.is_err());
+        // A shared handle can serve the orchestrator and other users at once.
+        let shared = registry.build_arc("zfp", &Options::new()).unwrap();
+        let orch = Orchestrator::with_compressor(Arc::clone(&shared), config());
+        assert_eq!(orch.compressor().name(), shared.name());
+        let series = hurricane_series("TCf", 2);
+        let outcome = orch.run_series("TCf", &series, 2);
+        assert_eq!(outcome.steps.len(), 2);
     }
 
     #[test]

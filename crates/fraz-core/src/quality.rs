@@ -16,6 +16,7 @@
 //! constraint.  (The ratio search's MaxLIPO machinery is unnecessary here —
 //! there is no spiky multi-modal landscape to escape.)
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -109,14 +110,18 @@ pub struct QualitySearchOutcome {
 /// Searches for the most compressive error bound that still satisfies a
 /// quality constraint.
 pub struct FixedQualitySearch {
-    compressor: Box<dyn Compressor>,
+    compressor: Arc<dyn Compressor>,
     config: QualitySearchConfig,
 }
 
 impl FixedQualitySearch {
-    /// Create a search driver owning the given compressor backend.
-    pub fn new(compressor: Box<dyn Compressor>, config: QualitySearchConfig) -> Self {
-        Self { compressor, config }
+    /// Create a search driver over the given compressor backend (owned box
+    /// or shared handle).
+    pub fn new(compressor: impl Into<Arc<dyn Compressor>>, config: QualitySearchConfig) -> Self {
+        Self {
+            compressor: compressor.into(),
+            config,
+        }
     }
 
     /// Borrow the underlying compressor.
@@ -286,7 +291,7 @@ mod tests {
             max_iterations: 20,
             ..QualitySearchConfig::new(QualityMetric::PsnrAtLeast(60.0))
         };
-        let search = FixedQualitySearch::new(registry::compressor("sz").unwrap(), config);
+        let search = FixedQualitySearch::new(registry::build_default("sz").unwrap(), config);
         let outcome = search.run(&d);
         assert!(outcome.satisfiable);
         let quality = outcome.best.quality.as_ref().unwrap();
@@ -308,7 +313,7 @@ mod tests {
                 max_iterations: 20,
                 ..QualitySearchConfig::new(QualityMetric::PsnrAtLeast(psnr))
             };
-            FixedQualitySearch::new(registry::compressor("sz").unwrap(), config).run(&d)
+            FixedQualitySearch::new(registry::build_default("sz").unwrap(), config).run(&d)
         };
         let loose = run(40.0);
         let strict = run(90.0);
@@ -332,7 +337,8 @@ mod tests {
             max_iterations: 8,
             ..QualitySearchConfig::new(QualityMetric::SsimAtLeast(1.5))
         };
-        let outcome = FixedQualitySearch::new(registry::compressor("sz").unwrap(), config).run(&d);
+        let outcome =
+            FixedQualitySearch::new(registry::build_default("sz").unwrap(), config).run(&d);
         assert!(!outcome.satisfiable);
         assert!(outcome.evaluations >= 4);
     }
@@ -345,7 +351,8 @@ mod tests {
             max_iterations: 16,
             ..QualitySearchConfig::new(QualityMetric::MaxErrorAtMost(ceiling))
         };
-        let outcome = FixedQualitySearch::new(registry::compressor("zfp").unwrap(), config).run(&d);
+        let outcome =
+            FixedQualitySearch::new(registry::build_default("zfp").unwrap(), config).run(&d);
         assert!(outcome.satisfiable);
         assert!(outcome.best.quality.as_ref().unwrap().max_abs_error <= ceiling);
     }

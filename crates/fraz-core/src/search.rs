@@ -12,6 +12,7 @@
 //! semantics of the paper's Algorithms 1 and 2.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -147,19 +148,31 @@ pub struct SearchOutcome {
 
 /// The FRaZ fixed-ratio search driver for a single compressor.
 pub struct FixedRatioSearch {
-    compressor: Box<dyn Compressor>,
+    compressor: Arc<dyn Compressor>,
     config: SearchConfig,
 }
 
 impl FixedRatioSearch {
-    /// Create a search driver owning the given compressor backend.
-    pub fn new(compressor: Box<dyn Compressor>, config: SearchConfig) -> Self {
-        Self { compressor, config }
+    /// Create a search driver over the given compressor backend.
+    ///
+    /// Accepts either an owned `Box<dyn Compressor>` (e.g. fresh from
+    /// `registry::build`) or a shared `Arc<dyn Compressor>` handle, so one
+    /// backend instance can serve several searches concurrently.
+    pub fn new(compressor: impl Into<Arc<dyn Compressor>>, config: SearchConfig) -> Self {
+        Self {
+            compressor: compressor.into(),
+            config,
+        }
     }
 
     /// Borrow the underlying compressor.
     pub fn compressor(&self) -> &dyn Compressor {
         self.compressor.as_ref()
+    }
+
+    /// A shared handle to the underlying compressor.
+    pub fn compressor_handle(&self) -> Arc<dyn Compressor> {
+        Arc::clone(&self.compressor)
     }
 
     /// Borrow the search configuration.
@@ -374,7 +387,8 @@ mod tests {
     #[test]
     fn feasible_target_is_hit_within_tolerance() {
         let dataset = smooth_field();
-        let search = FixedRatioSearch::new(registry::compressor("sz").unwrap(), quick_config(10.0));
+        let search =
+            FixedRatioSearch::new(registry::build_default("sz").unwrap(), quick_config(10.0));
         let outcome = search.run(&dataset);
         assert!(outcome.feasible, "10:1 should be feasible on smooth data");
         assert!(
@@ -403,7 +417,7 @@ mod tests {
             tolerance: 0.001,
             ..quick_config(1.01)
         };
-        let search = FixedRatioSearch::new(registry::compressor("sz").unwrap(), config);
+        let search = FixedRatioSearch::new(registry::build_default("sz").unwrap(), config);
         let outcome = search.run(&dataset);
         assert!(!outcome.feasible);
         assert!(outcome.best.compression_ratio > 0.0);
@@ -413,7 +427,8 @@ mod tests {
     #[test]
     fn prediction_reuse_skips_training() {
         let dataset = smooth_field();
-        let search = FixedRatioSearch::new(registry::compressor("sz").unwrap(), quick_config(10.0));
+        let search =
+            FixedRatioSearch::new(registry::build_default("sz").unwrap(), quick_config(10.0));
         let first = search.run(&dataset);
         assert!(first.feasible);
         let second = search.run_with_prediction(&dataset, Some(first.error_bound));
@@ -426,7 +441,8 @@ mod tests {
     #[test]
     fn bad_prediction_falls_back_to_training() {
         let dataset = smooth_field();
-        let search = FixedRatioSearch::new(registry::compressor("sz").unwrap(), quick_config(10.0));
+        let search =
+            FixedRatioSearch::new(registry::build_default("sz").unwrap(), quick_config(10.0));
         let outcome = search.run_with_prediction(&dataset, Some(1e-12));
         assert!(
             outcome.retrained,
@@ -441,7 +457,7 @@ mod tests {
         let range = dataset.stats().value_range();
         let cap = range * 1e-6;
         let config = quick_config(200.0).with_max_error(cap);
-        let search = FixedRatioSearch::new(registry::compressor("sz").unwrap(), config);
+        let search = FixedRatioSearch::new(registry::build_default("sz").unwrap(), config);
         let (_, upper) = search.bound_range(&dataset);
         assert!(upper <= cap * (1.0 + 1e-9));
         let outcome = search.run(&dataset);
@@ -455,7 +471,7 @@ mod tests {
     fn works_with_every_error_bounded_backend() {
         let dataset = smooth_field();
         for name in registry::error_bounded_names() {
-            let backend = registry::compressor(name).unwrap();
+            let backend = registry::build_default(&name).unwrap();
             if !backend.supports_dims(&dataset.dims) {
                 continue;
             }
@@ -473,7 +489,7 @@ mod tests {
     fn single_threaded_and_parallel_agree_on_feasibility() {
         let dataset = smooth_field();
         let serial = FixedRatioSearch::new(
-            registry::compressor("sz").unwrap(),
+            registry::build_default("sz").unwrap(),
             SearchConfig {
                 threads: 1,
                 ..quick_config(12.0)
@@ -481,7 +497,7 @@ mod tests {
         )
         .run(&dataset);
         let parallel = FixedRatioSearch::new(
-            registry::compressor("sz").unwrap(),
+            registry::build_default("sz").unwrap(),
             SearchConfig {
                 threads: 4,
                 ..quick_config(12.0)

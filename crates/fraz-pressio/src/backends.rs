@@ -5,7 +5,9 @@ use fraz_mgard::{ErrorNorm, MgardConfig};
 use fraz_sz::SzConfig;
 use fraz_zfp::{ZfpConfig, ZfpMode};
 
-use crate::options::Options;
+use crate::descriptor::{BoundKind, CodecDescriptor, DimRange, OptionDescriptor};
+use crate::options::{OptionKind, Options};
+use crate::registry::Registry;
 use crate::{Compressor, PressioError};
 
 /// Smallest error-bound setting offered to the search, as a fraction of the
@@ -37,6 +39,23 @@ impl SzBackend {
         }
     }
 
+    /// The registry metadata for this backend, including its option schema.
+    pub fn descriptor() -> CodecDescriptor {
+        CodecDescriptor::new("sz", BoundKind::AbsoluteError)
+            .with_summary("SZ-like blockwise prediction + quantization compressor")
+            .with_option(
+                OptionDescriptor::new("sz:block_size", OptionKind::U64)
+                    .with_range(2.0, 4096.0)
+                    .with_doc("block edge length; unset selects 6 (3-D), 16 (2-D) or 256 (1-D)"),
+            )
+            .with_option(
+                OptionDescriptor::new("sz:quant_capacity", OptionKind::U64)
+                    .with_default(65536u64)
+                    .with_range(16.0, 1_048_576.0)
+                    .with_doc("number of linear-scaling quantization bins"),
+            )
+    }
+
     /// Backend configured from an options bag (`sz:block_size`,
     /// `sz:quant_capacity`).
     pub fn from_options(options: &Options) -> Self {
@@ -61,8 +80,8 @@ impl Compressor for SzBackend {
     fn name(&self) -> &str {
         "sz"
     }
-    fn bound_kind(&self) -> &str {
-        "absolute error bound"
+    fn bound_kind(&self) -> BoundKind {
+        BoundKind::AbsoluteError
     }
     fn supports_dims(&self, _dims: &Dims) -> bool {
         true
@@ -89,12 +108,21 @@ impl Compressor for SzBackend {
 #[derive(Debug, Clone, Default)]
 pub struct ZfpAccuracyBackend;
 
+impl ZfpAccuracyBackend {
+    /// The registry metadata for this backend.
+    pub fn descriptor() -> CodecDescriptor {
+        CodecDescriptor::new("zfp", BoundKind::AccuracyTolerance)
+            .with_alias("zfp-accuracy")
+            .with_summary("ZFP-like block-transform compressor, fixed-accuracy mode")
+    }
+}
+
 impl Compressor for ZfpAccuracyBackend {
     fn name(&self) -> &str {
         "zfp"
     }
-    fn bound_kind(&self) -> &str {
-        "accuracy tolerance"
+    fn bound_kind(&self) -> BoundKind {
+        BoundKind::AccuracyTolerance
     }
     fn supports_dims(&self, _dims: &Dims) -> bool {
         true
@@ -121,12 +149,22 @@ impl Compressor for ZfpAccuracyBackend {
 #[derive(Debug, Clone, Default)]
 pub struct ZfpFixedRateBackend;
 
+impl ZfpFixedRateBackend {
+    /// The registry metadata for this backend (fixed-rate: not a FRaZ
+    /// search target).
+    pub fn descriptor() -> CodecDescriptor {
+        CodecDescriptor::new("zfp-rate", BoundKind::BitsPerValue)
+            .with_alias("zfp-fixed-rate")
+            .with_summary("ZFP-like compressor, fixed-rate baseline mode")
+    }
+}
+
 impl Compressor for ZfpFixedRateBackend {
     fn name(&self) -> &str {
         "zfp-rate"
     }
-    fn bound_kind(&self) -> &str {
-        "bits per value"
+    fn bound_kind(&self) -> BoundKind {
+        BoundKind::BitsPerValue
     }
     fn supports_dims(&self, _dims: &Dims) -> bool {
         true
@@ -173,6 +211,20 @@ impl MgardBackend {
             norm: ErrorNorm::L2,
         }
     }
+
+    /// The registry metadata for the ∞-norm backend.
+    pub fn infinity_descriptor() -> CodecDescriptor {
+        CodecDescriptor::new("mgard", BoundKind::InfinityNorm)
+            .with_dims(DimRange::new(2, 3))
+            .with_summary("MGARD-like multilevel compressor, infinity-norm error control")
+    }
+
+    /// The registry metadata for the L2-norm backend.
+    pub fn l2_descriptor() -> CodecDescriptor {
+        CodecDescriptor::new("mgard-l2", BoundKind::L2Norm)
+            .with_dims(DimRange::new(2, 3))
+            .with_summary("MGARD-like multilevel compressor, L2-norm (RMS) error control")
+    }
 }
 
 impl Compressor for MgardBackend {
@@ -182,10 +234,10 @@ impl Compressor for MgardBackend {
             ErrorNorm::L2 => "mgard-l2",
         }
     }
-    fn bound_kind(&self) -> &str {
+    fn bound_kind(&self) -> BoundKind {
         match self.norm {
-            ErrorNorm::Infinity => "infinity-norm bound",
-            ErrorNorm::L2 => "L2-norm bound",
+            ErrorNorm::Infinity => BoundKind::InfinityNorm,
+            ErrorNorm::L2 => BoundKind::L2Norm,
         }
     }
     fn supports_dims(&self, dims: &Dims) -> bool {
@@ -216,6 +268,39 @@ impl Compressor for MgardBackend {
     fn decompress(&self, data: &[u8]) -> Result<Dataset, PressioError> {
         fraz_mgard::decompress(data).map_err(|e| PressioError::Codec(e.to_string()))
     }
+}
+
+/// Register the five built-in backends into a registry.
+///
+/// This is the only place the workspace's own codecs touch the registry;
+/// everything else (examples, benches, FRaZ itself) goes through
+/// [`Registry::build`] like an out-of-tree codec would.
+pub fn install_builtins(registry: &mut Registry) {
+    registry
+        .register(SzBackend::descriptor(), |options| {
+            Ok(Box::new(SzBackend::from_options(options)))
+        })
+        .expect("fresh registry cannot already contain sz");
+    registry
+        .register(ZfpAccuracyBackend::descriptor(), |_| {
+            Ok(Box::new(ZfpAccuracyBackend))
+        })
+        .expect("fresh registry cannot already contain zfp");
+    registry
+        .register(ZfpFixedRateBackend::descriptor(), |_| {
+            Ok(Box::new(ZfpFixedRateBackend))
+        })
+        .expect("fresh registry cannot already contain zfp-rate");
+    registry
+        .register(MgardBackend::infinity_descriptor(), |_| {
+            Ok(Box::new(MgardBackend::infinity()))
+        })
+        .expect("fresh registry cannot already contain mgard");
+    registry
+        .register(MgardBackend::l2_descriptor(), |_| {
+            Ok(Box::new(MgardBackend::l2()))
+        })
+        .expect("fresh registry cannot already contain mgard-l2");
 }
 
 #[cfg(test)]
@@ -287,7 +372,8 @@ mod tests {
             "{}",
             o4.compression_ratio
         );
-        assert_eq!(backend.bound_kind(), "bits per value");
+        assert_eq!(backend.bound_kind(), BoundKind::BitsPerValue);
+        assert_eq!(backend.bound_kind().label(), "bits per value");
     }
 
     #[test]
@@ -330,6 +416,51 @@ mod tests {
         let dataset = smooth(Dims::d2(20, 20));
         let outcome = backend.evaluate(&dataset, 1e-3, true).unwrap();
         assert!(outcome.quality.unwrap().max_abs_error <= 1e-3);
+    }
+
+    #[test]
+    fn descriptors_agree_with_their_backends() {
+        let pairs: Vec<(CodecDescriptor, Box<dyn Compressor>)> = vec![
+            (SzBackend::descriptor(), Box::new(SzBackend::new())),
+            (
+                ZfpAccuracyBackend::descriptor(),
+                Box::new(ZfpAccuracyBackend),
+            ),
+            (
+                ZfpFixedRateBackend::descriptor(),
+                Box::new(ZfpFixedRateBackend),
+            ),
+            (
+                MgardBackend::infinity_descriptor(),
+                Box::new(MgardBackend::infinity()),
+            ),
+            (MgardBackend::l2_descriptor(), Box::new(MgardBackend::l2())),
+        ];
+        for (descriptor, backend) in &pairs {
+            assert_eq!(descriptor.name, backend.name());
+            assert_eq!(
+                descriptor.bound_kind,
+                backend.bound_kind(),
+                "{}",
+                descriptor.name
+            );
+            // The declared dimensionality range matches what the impl
+            // actually accepts.
+            for dims in [
+                Dims::d1(8),
+                Dims::d2(4, 4),
+                Dims::d3(2, 2, 2),
+                Dims::d4(2, 2, 2, 2),
+            ] {
+                assert_eq!(
+                    descriptor.dims.supports(&dims),
+                    backend.supports_dims(&dims),
+                    "{} at {}-D",
+                    descriptor.name,
+                    dims.ndims()
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,16 +11,27 @@
 //!   support,
 //! * [`backends`] — adapters for the SZ-like, ZFP-like (accuracy and
 //!   fixed-rate) and MGARD-like (∞-norm and L2) codecs,
-//! * [`registry`] — name-based construction (`"sz"`, `"zfp"`, `"zfp-rate"`,
-//!   `"mgard"`, `"mgard-l2"`), optionally configured through the
-//!   [`options::Options`] bag,
+//! * [`descriptor`] — introspectable codec metadata: [`CodecDescriptor`]
+//!   (name, aliases, [`BoundKind`], capabilities, dimensionalities) and the
+//!   per-option schema [`OptionDescriptor`],
+//! * [`registry`] — the extensible [`registry::Registry`]: factory
+//!   registration plus validated, options-driven construction
+//!   (`Registry::build("sz", &options)`), with a process-wide default
+//!   registry pre-loaded with the five built-ins (`"sz"`, `"zfp"`,
+//!   `"zfp-rate"`, `"mgard"`, `"mgard-l2"`) that external codecs can join
+//!   at runtime,
 //! * [`CompressionOutcome`] / [`Compressor::evaluate`] — the
 //!   compress-measure-decompress convenience FRaZ's loss function and the
 //!   experiment harness are built on.
 
 pub mod backends;
+pub mod descriptor;
 pub mod options;
 pub mod registry;
+
+pub use descriptor::{BoundKind, CodecDescriptor, DimRange, OptionDescriptor};
+pub use options::{OptionKind, OptionValue, Options};
+pub use registry::{Registry, RegistryError};
 
 use std::fmt;
 
@@ -82,9 +93,9 @@ pub trait Compressor: Send + Sync {
     /// Short backend name (e.g. `"sz"`).
     fn name(&self) -> &str;
 
-    /// Which error-bounding mode the scalar parameter controls (for logs).
-    fn bound_kind(&self) -> &str {
-        "absolute error bound"
+    /// Which error-bounding mode the scalar parameter controls.
+    fn bound_kind(&self) -> BoundKind {
+        BoundKind::AbsoluteError
     }
 
     /// True if the backend can handle this grid shape.

@@ -24,6 +24,72 @@ pub enum OptionValue {
     Str(String),
 }
 
+/// The type of an [`OptionValue`], without a value attached.
+///
+/// Option schemas ([`OptionDescriptor`](crate::OptionDescriptor)) declare
+/// the kind they expect, and registry validation compares kinds instead of
+/// silently dropping mistyped values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptionKind {
+    /// Floating-point option.
+    F64,
+    /// Unsigned integer option.
+    U64,
+    /// Boolean flag.
+    Bool,
+    /// Free-form string.
+    Str,
+}
+
+impl OptionKind {
+    /// True when a value of this runtime type satisfies an option declared
+    /// with this kind.  The accepted conversions mirror the typed getters:
+    /// integers widen into `F64` options, and integral non-negative floats
+    /// narrow into `U64` options.
+    pub fn accepts(&self, value: &OptionValue) -> bool {
+        match (self, value) {
+            (OptionKind::F64, OptionValue::F64(_) | OptionValue::U64(_)) => true,
+            (OptionKind::U64, OptionValue::U64(_)) => true,
+            (OptionKind::U64, OptionValue::F64(v)) => v.fract() == 0.0 && *v >= 0.0,
+            (OptionKind::Bool, OptionValue::Bool(_)) => true,
+            (OptionKind::Str, OptionValue::Str(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for OptionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OptionKind::F64 => "f64",
+            OptionKind::U64 => "u64",
+            OptionKind::Bool => "bool",
+            OptionKind::Str => "string",
+        })
+    }
+}
+
+impl OptionValue {
+    /// The runtime type of this value.
+    pub fn kind(&self) -> OptionKind {
+        match self {
+            OptionValue::F64(_) => OptionKind::F64,
+            OptionValue::U64(_) => OptionKind::U64,
+            OptionValue::Bool(_) => OptionKind::Bool,
+            OptionValue::Str(_) => OptionKind::Str,
+        }
+    }
+
+    /// Numeric view of the value, when it has one (used for range checks).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            OptionValue::F64(v) => Some(*v),
+            OptionValue::U64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for OptionValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -87,6 +153,42 @@ impl Options {
     /// Raw lookup.
     pub fn get(&self, key: &str) -> Option<&OptionValue> {
         self.values.get(key)
+    }
+
+    /// True when `key` is set.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+
+    /// Remove an option, returning its previous value.
+    pub fn remove(&mut self, key: &str) -> Option<OptionValue> {
+        self.values.remove(key)
+    }
+
+    /// The set keys, in sorted order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.values.keys().map(String::as_str)
+    }
+
+    /// Overlay `other` on top of `self`: every option set in `other` is set
+    /// here, replacing existing values (libpressio's `options_merge`).
+    pub fn merge(&mut self, other: &Options) {
+        for (key, value) in other.iter() {
+            self.set(key, value.clone());
+        }
+    }
+
+    /// Keys set in `self` whose values differ from (or are absent in)
+    /// `other`.  The comparison is one-sided — keys present only in
+    /// `other` are not reported — which is the shape introspection wants:
+    /// "which of my options deviate from the codec's declared defaults"
+    /// (compare against `CodecDescriptor::default_options()`, as the
+    /// quickstart example does).
+    pub fn diff<'a>(&'a self, other: &Options) -> Vec<&'a str> {
+        self.iter()
+            .filter(|(key, value)| other.get(key) != Some(*value))
+            .map(|(key, _)| key)
+            .collect()
     }
 
     /// Number of options set.
@@ -180,6 +282,47 @@ mod tests {
         opts.set("a", "x");
         let keys: Vec<&str> = opts.iter().map(|(k, _)| k).collect();
         assert_eq!(keys, vec!["a", "k"]);
+    }
+
+    #[test]
+    fn kinds_and_accepted_conversions() {
+        assert_eq!(OptionValue::from(1.5).kind(), OptionKind::F64);
+        assert_eq!(OptionValue::from(3u64).kind(), OptionKind::U64);
+        assert_eq!(OptionValue::from(true).kind(), OptionKind::Bool);
+        assert_eq!(OptionValue::from("x").kind(), OptionKind::Str);
+        // Widening/narrowing matches the typed getters.
+        assert!(OptionKind::F64.accepts(&OptionValue::U64(3)));
+        assert!(OptionKind::U64.accepts(&OptionValue::F64(4.0)));
+        assert!(!OptionKind::U64.accepts(&OptionValue::F64(4.5)));
+        assert!(!OptionKind::U64.accepts(&OptionValue::F64(-1.0)));
+        assert!(!OptionKind::Bool.accepts(&OptionValue::Str("true".into())));
+        assert_eq!(OptionKind::Str.to_string(), "string");
+        assert_eq!(OptionValue::from(3u64).as_f64(), Some(3.0));
+        assert_eq!(OptionValue::from("x").as_f64(), None);
+    }
+
+    #[test]
+    fn keys_contains_remove() {
+        let mut opts = Options::new().with("b", 1u64).with("a", 2u64);
+        assert_eq!(opts.keys().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert!(opts.contains_key("a"));
+        assert_eq!(opts.remove("a"), Some(OptionValue::U64(2)));
+        assert!(!opts.contains_key("a"));
+        assert_eq!(opts.remove("a"), None);
+    }
+
+    #[test]
+    fn merge_overlays_and_diff_reports_edits() {
+        let mut base = Options::new().with("keep", 1u64).with("replace", 1u64);
+        let overlay = Options::new().with("replace", 2u64).with("add", true);
+        base.merge(&overlay);
+        assert_eq!(base.get_u64("keep"), Some(1));
+        assert_eq!(base.get_u64("replace"), Some(2));
+        assert_eq!(base.get_bool("add"), Some(true));
+
+        let defaults = Options::new().with("keep", 1u64);
+        assert_eq!(base.diff(&defaults), vec!["add", "replace"]);
+        assert!(defaults.diff(&defaults).is_empty());
     }
 
     #[test]

@@ -30,12 +30,15 @@ fn main() {
         "compressor", "ratio", "max err", "PSNR", "SSIM", "ACF(err)", "calls"
     );
 
-    // Error-bounded compressors, tuned by FRaZ.
-    for name in ["sz", "zfp", "mgard"] {
-        let backend = registry::compressor(name).expect("registered backend");
-        if !backend.supports_dims(&dataset.dims) {
+    // Every error-bounded compressor in the registry, tuned by FRaZ.  The
+    // list comes from the codecs' own descriptors, so a codec registered by
+    // a third party at startup would automatically join this comparison.
+    for name in registry::error_bounded_names() {
+        let descriptor = registry::describe(&name).expect("listed codecs have descriptors");
+        if !descriptor.dims.supports(&dataset.dims) {
             continue;
         }
+        let backend = registry::build_default(&name).expect("registered backend");
         let config = SearchConfig::new(target_ratio, 0.1)
             .with_regions(6)
             .with_threads(3);
@@ -58,7 +61,7 @@ fn main() {
     }
 
     // ZFP's built-in fixed-rate mode at the same ratio (the baseline).
-    let rate_backend = registry::compressor("zfp-rate").expect("registered backend");
+    let rate_backend = registry::build_default("zfp-rate").expect("registered backend");
     let bits_per_value = DType::F32.byte_width() as f64 * 8.0 / target_ratio;
     let outcome = rate_backend
         .evaluate(&dataset, bits_per_value, true)

@@ -34,7 +34,7 @@ fn main() {
     let frames = 6usize;
     let app = synthetic::nyx(24, 24, 24, frames, 99);
 
-    let compressor = registry::compressor("zfp").expect("zfp backend registered");
+    let compressor = registry::build_default("zfp").expect("zfp backend registered");
     let config = SearchConfig::new(target_ratio, 0.1)
         .with_regions(6)
         .with_threads(3);

@@ -26,7 +26,7 @@ fn main() {
     // enough that the 16:1 target stays feasible on this field).
     config.max_error_bound = Some(app.field("temperature", 0).stats().value_range() * 0.05);
     let mut controller = OnlineController::new(
-        registry::compressor("sz").expect("sz backend registered"),
+        registry::build_default("sz").expect("sz backend registered"),
         config,
     );
 

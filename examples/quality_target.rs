@@ -31,7 +31,7 @@ fn main() {
     );
     for metric in targets {
         let search = FixedQualitySearch::new(
-            registry::compressor("sz").expect("sz backend registered"),
+            registry::build_default("sz").expect("sz backend registered"),
             QualitySearchConfig::new(metric),
         );
         let outcome = search.run(&dataset);

@@ -12,6 +12,7 @@
 use fraz::core::{FixedRatioSearch, SearchConfig};
 use fraz::data::synthetic;
 use fraz::pressio::registry;
+use fraz::Options;
 
 fn main() {
     // 1. A dataset: one field at one time-step.  Swap this for
@@ -21,8 +22,20 @@ fn main() {
     println!("dataset: {dataset}");
     println!("original size: {} bytes", dataset.byte_size());
 
-    // 2. A compressor behind the uniform abstraction.
-    let compressor = registry::compressor("sz").expect("sz backend is registered");
+    // 2. A compressor behind the uniform abstraction.  The registry knows
+    //    what each codec is and which options it takes — ask before building.
+    let descriptor = registry::describe("sz").expect("sz backend is registered");
+    println!("codec: {descriptor}");
+    for option in &descriptor.options {
+        println!("  option {} ({}): {}", option.key, option.kind, option.doc);
+    }
+    // Construction validates the options bag: a typo'd key or a mistyped
+    // value is a RegistryError with a did-you-mean hint, never ignored.
+    let options = Options::new().with("sz:block_size", 8u64);
+    for key in options.diff(&descriptor.default_options()) {
+        println!("  overriding {key} = {}", options.get(key).unwrap());
+    }
+    let compressor = registry::build("sz", &options).expect("valid options");
 
     // 3. The fixed-ratio request: 20:1, within 10 %.
     let target_ratio = 20.0;

@@ -16,9 +16,15 @@
 //! * [`zfp`] — a ZFP-like block-transform compressor with fixed-accuracy and
 //!   fixed-rate modes.
 //! * [`mgard`] — an MGARD-like multilevel compressor.
-//! * [`pressio`] — the libpressio-like abstraction layer over compressors.
+//! * [`pressio`] — the libpressio-like abstraction layer over compressors:
+//!   the [`Compressor`] trait, the extensible [`Registry`] with
+//!   introspectable [`CodecDescriptor`]s, and validated [`Options`].
 //! * [`core`] — FRaZ itself: the fixed-ratio autotuning optimizer and the
 //!   parallel orchestrator.
+//!
+//! The most commonly used registry types are re-exported at the crate root
+//! ([`Registry`], [`CodecDescriptor`], [`OptionDescriptor`], [`BoundKind`],
+//! [`Options`], [`RegistryError`], [`Compressor`]).
 //!
 //! ## Quick start
 //!
@@ -26,10 +32,20 @@
 //! use fraz::core::{FixedRatioSearch, SearchConfig};
 //! use fraz::data::synthetic;
 //! use fraz::pressio::registry;
+//! use fraz::Options;
 //!
 //! // A small hurricane-like 3-D field.
 //! let dataset = synthetic::hurricane(8, 16, 16, 1, 42).field("TCf", 0);
-//! let compressor = registry::compressor("sz").unwrap();
+//!
+//! // Codecs come from the registry: introspect before you build.
+//! let descriptor = registry::describe("sz").unwrap();
+//! assert!(descriptor.error_bounded, "sz is a valid FRaZ search target");
+//! assert!(descriptor.option("sz:block_size").is_some());
+//!
+//! // Construction validates options — typos are errors, never ignored.
+//! let options = Options::new().with("sz:block_size", 8u64);
+//! let compressor = registry::build("sz", &options).unwrap();
+//! assert!(registry::build("sz", &Options::new().with("sz:blok_size", 8u64)).is_err());
 //!
 //! // Ask FRaZ for a 10:1 ratio within 10%.
 //! let config = SearchConfig::new(10.0, 0.1).with_regions(4).with_threads(2);
@@ -37,6 +53,13 @@
 //! let ratio = outcome.best.compression_ratio;
 //! assert!(ratio > 1.0);
 //! ```
+//!
+//! ## Plugging in your own codec
+//!
+//! Out-of-tree compressors join the same registry at runtime — implement
+//! [`Compressor`], describe it with a [`CodecDescriptor`], register a
+//! factory, and every FRaZ driver can use it; see
+//! [`pressio::registry`] for a complete example.
 
 pub use fraz_core as core;
 pub use fraz_data as data;
@@ -46,3 +69,8 @@ pub use fraz_mgard as mgard;
 pub use fraz_pressio as pressio;
 pub use fraz_sz as sz;
 pub use fraz_zfp as zfp;
+
+pub use fraz_pressio::{
+    BoundKind, CodecDescriptor, Compressor, DimRange, OptionDescriptor, OptionKind, OptionValue,
+    Options, PressioError, Registry, RegistryError,
+};

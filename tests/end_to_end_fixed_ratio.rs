@@ -26,7 +26,7 @@ fn feasible_targets_are_hit_on_every_application() {
     for (app_name, field) in cases {
         let app = synthetic::by_name(app_name, 3).unwrap();
         let dataset = app.field(field, 0);
-        let search = FixedRatioSearch::new(registry::compressor("sz").unwrap(), quick(8.0, 0.1));
+        let search = FixedRatioSearch::new(registry::build_default("sz").unwrap(), quick(8.0, 0.1));
         let outcome = search.run(&dataset);
         assert!(outcome.feasible, "{app_name}/{field} should reach 8:1");
         let ratio = outcome.best.compression_ratio;
@@ -45,7 +45,7 @@ fn recommended_bound_respects_the_error_constraint() {
     let dataset = app.field("Uf", 0);
     let ceiling = dataset.stats().value_range() * 0.05;
     let config = quick(12.0, 0.1).with_max_error(ceiling);
-    let search = FixedRatioSearch::new(registry::compressor("sz").unwrap(), config);
+    let search = FixedRatioSearch::new(registry::build_default("sz").unwrap(), config);
     let outcome = search.run(&dataset);
     assert!(outcome.error_bound <= ceiling * (1.0 + 1e-9));
     let quality = outcome.best.quality.expect("final quality measured");
@@ -64,7 +64,7 @@ fn all_error_bounded_backends_can_be_tuned_on_2d_data() {
     let app = synthetic::cesm(32, 64, 1, 23);
     let dataset = app.field("FLDSC", 0);
     for name in registry::error_bounded_names() {
-        let backend = registry::compressor(name).unwrap();
+        let backend = registry::build_default(&name).unwrap();
         if !backend.supports_dims(&dataset.dims) {
             continue;
         }
@@ -76,7 +76,7 @@ fn all_error_bounded_backends_can_be_tuned_on_2d_data() {
         );
         // Whatever bound FRaZ recommends must actually reproduce the
         // reported ratio when re-applied.
-        let backend = registry::compressor(name).unwrap();
+        let backend = registry::build_default(&name).unwrap();
         let check = backend
             .evaluate(&dataset, outcome.error_bound, false)
             .unwrap();
@@ -93,7 +93,7 @@ fn mgard_is_skipped_for_1d_applications_like_the_paper() {
     // support 1-D data; the abstraction layer reports that cleanly.
     let app = synthetic::hacc(4096, 1, 3);
     let dataset = app.field("x", 0);
-    let backend = registry::compressor("mgard").unwrap();
+    let backend = registry::build_default("mgard").unwrap();
     assert!(!backend.supports_dims(&dataset.dims));
     assert!(backend.compress(&dataset, 1e-3).is_err());
 }
@@ -116,8 +116,9 @@ fn fraz_beats_fixed_rate_mode_on_quality_at_equal_ratio() {
     // whatever ratio FRaZ actually lands on — that is how the paper runs the
     // Fig. 10 comparison (it moved its own target from 100:1 to ~85:1 for
     // the same reason).
-    let accuracy = FixedRatioSearch::new(registry::compressor("zfp").unwrap(), quick(target, 0.3))
-        .run(&dataset);
+    let accuracy =
+        FixedRatioSearch::new(registry::build_default("zfp").unwrap(), quick(target, 0.3))
+            .run(&dataset);
     assert!(
         accuracy.best.compression_ratio > 5.0,
         "FRaZ should reach a substantial ratio, got {}",
@@ -125,7 +126,7 @@ fn fraz_beats_fixed_rate_mode_on_quality_at_equal_ratio() {
     );
     let accuracy_quality = accuracy.best.quality.clone().unwrap();
 
-    let rate_backend = registry::compressor("zfp-rate").unwrap();
+    let rate_backend = registry::build_default("zfp-rate").unwrap();
     let bits_per_value = 32.0 / accuracy.best.compression_ratio;
     let rate = rate_backend
         .evaluate(&dataset, bits_per_value, true)
@@ -153,6 +154,7 @@ fn infeasible_low_ratio_is_reported_infeasible() {
         threads: 2,
         ..SearchConfig::new(1.05, 0.01)
     };
-    let outcome = FixedRatioSearch::new(registry::compressor("sz").unwrap(), config).run(&dataset);
+    let outcome =
+        FixedRatioSearch::new(registry::build_default("sz").unwrap(), config).run(&dataset);
     assert!(!outcome.feasible);
 }

@@ -27,7 +27,7 @@ proptest! {
             threads: 2,
             ..SearchConfig::new(target, tolerance)
         };
-        let search = FixedRatioSearch::new(registry::compressor("sz").unwrap(), config);
+        let search = FixedRatioSearch::new(registry::build_default("sz").unwrap(), config);
         let outcome = search.run(&dataset);
         prop_assert!(outcome.error_bound > 0.0);
         prop_assert!(outcome.evaluations >= 1);
@@ -64,7 +64,7 @@ proptest! {
             ..SearchConfig::new(target, 0.1)
         }
         .with_max_error(ceiling);
-        let search = FixedRatioSearch::new(registry::compressor("sz").unwrap(), config);
+        let search = FixedRatioSearch::new(registry::build_default("sz").unwrap(), config);
         let outcome = search.run(&dataset);
         prop_assert!(outcome.error_bound <= ceiling * (1.0 + 1e-9));
         let quality = outcome.best.quality.expect("quality measured");

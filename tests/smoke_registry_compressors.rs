@@ -18,8 +18,8 @@ fn every_registered_compressor_hits_the_ratio_window() {
     let dataset = synthetic::hurricane(8, 16, 16, 1, 13).field("TCf", 0);
 
     for (name, target, tolerance) in [("sz", 8.0, 0.10), ("zfp", 8.0, 0.25), ("mgard", 8.0, 0.10)] {
-        let compressor =
-            registry::compressor(name).unwrap_or_else(|| panic!("registry must know {name}"));
+        let compressor = registry::build_default(name)
+            .unwrap_or_else(|e| panic!("registry must know {name}: {e}"));
         let config = SearchConfig::new(target, tolerance)
             .with_regions(4)
             .with_threads(2);
@@ -40,7 +40,7 @@ fn every_registered_compressor_hits_the_ratio_window() {
 
         // The recommended bound must reproduce the reported ratio exactly
         // (FRaZ's training-then-apply contract).
-        let check = registry::compressor(name)
+        let check = registry::build_default(name)
             .unwrap()
             .evaluate(&dataset, outcome.error_bound, false)
             .unwrap();

@@ -9,8 +9,15 @@
 //! No statistics beyond mean-of-samples, no HTML reports, no warm-up
 //! model — each benchmark runs `sample_size` timed samples after one
 //! untimed call and prints mean time (and derived throughput) per sample.
+//!
+//! One extension over upstream: when `FRAZ_BENCH_RECORD_DIR` is set, every
+//! reported benchmark also appends one JSON object to
+//! `$FRAZ_BENCH_RECORD_DIR/<bench-binary>.jsonl`, so baseline numbers can
+//! be committed (see `baselines/`) and later perf PRs can diff against
+//! them.
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -163,11 +170,86 @@ impl BenchmarkGroup<'_> {
             rate,
             bencher.iterations,
         );
+        record_jsonl(
+            &self.name,
+            &id.id,
+            mean,
+            bencher.iterations,
+            self.throughput,
+        );
         self.criterion.benchmarks_run += 1;
     }
 
     /// End the group (kept for API compatibility; reporting is immediate).
     pub fn finish(self) {}
+}
+
+/// The name of the running bench binary: `argv[0]`'s file stem with the
+/// cargo-appended `-<metadata hash>` suffix stripped.
+fn bench_binary_name() -> String {
+    let argv0 = std::env::args().next().unwrap_or_else(|| "bench".into());
+    let stem = std::path::Path::new(&argv0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// Append one benchmark result to `$FRAZ_BENCH_RECORD_DIR/<bench>.jsonl`.
+/// A no-op without the env var; I/O problems are reported, never fatal.
+fn record_jsonl(
+    group: &str,
+    id: &str,
+    mean_secs: f64,
+    samples: u64,
+    throughput: Option<Throughput>,
+) {
+    let Ok(dir) = std::env::var("FRAZ_BENCH_RECORD_DIR") else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let extra = match throughput {
+        Some(Throughput::Bytes(bytes)) => format!(
+            ",\"bytes_per_iter\":{bytes},\"mib_per_s\":{:.3}",
+            bytes as f64 / mean_secs / (1024.0 * 1024.0)
+        ),
+        Some(Throughput::Elements(n)) => format!(
+            ",\"elems_per_iter\":{n},\"elems_per_s\":{:.1}",
+            n as f64 / mean_secs
+        ),
+        None => String::new(),
+    };
+    // Keys are simple identifiers; only group/id need escaping, and the
+    // bench code only uses quotes-free names, so escape conservatively.
+    let line = format!(
+        "{{\"group\":{:?},\"id\":{:?},\"mean_ns\":{:.0},\"samples\":{samples}{extra}}}",
+        group,
+        id,
+        mean_secs * 1e9,
+    );
+    let path = dir.join(format!("{}.jsonl", bench_binary_name()));
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        Ok(mut f) => {
+            if let Err(e) = writeln!(f, "{line}") {
+                eprintln!("warning: cannot write to {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot open {}: {e}", path.display()),
+    }
 }
 
 /// The top-level harness handle.
