@@ -1,5 +1,19 @@
 //! Criterion benchmark behind Figure 8: orchestrator runtime as the worker
 //! count grows (strong scaling on a fixed multi-field workload).
+//!
+//! Two modes per worker count:
+//!
+//! * `orchestrator_strong_scaling` — the shared work-stealing pool: the
+//!   orchestrator (and therefore its pool) is built **once**, outside the
+//!   timing loop, so each iteration measures pure task-graph execution.
+//! * `orchestrator_spawn_per_batch` — the pre-pool regime: the
+//!   orchestrator is rebuilt inside the timing loop, so every iteration
+//!   pays worker-thread spawn/teardown, like the old per-batch
+//!   `std::thread::scope` implementation did on every call.
+//!
+//! The gap between the two groups at the same worker count is the
+//! harness overhead the shared pool removes; `baselines/scalability.jsonl`
+//! commits one snapshot of both.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -8,34 +22,65 @@ use fraz_bench::workloads;
 use fraz_core::{Orchestrator, OrchestratorConfig, SearchConfig};
 use fraz_data::Dataset;
 
-fn scalability_benchmarks(c: &mut Criterion) {
+const WORKER_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// `FRAZ_BENCH_SMOKE=1` drops to one timed sample per point: CI uses it
+/// to catch bench bitrot and pool hangs in seconds instead of running
+/// the full statistical sweep.
+fn sample_size() -> usize {
+    if std::env::var_os("FRAZ_BENCH_SMOKE").is_some() {
+        1
+    } else {
+        10
+    }
+}
+
+fn bench_fields() -> Vec<(String, Vec<Dataset>)> {
     let app = workloads::hurricane(Scale::Quick);
     // Keep the workload small: 4 fields x 1 time-step.
-    let fields: Vec<(String, Vec<Dataset>)> = app
-        .field_names()
+    app.field_names()
         .into_iter()
         .take(4)
         .map(|f| (f.clone(), vec![app.field(&f, 0)]))
-        .collect();
+        .collect()
+}
 
+fn bench_config(workers: usize) -> OrchestratorConfig {
+    let search = SearchConfig {
+        measure_final_quality: false,
+        max_iterations: 10,
+        ..SearchConfig::new(10.0, 0.1).with_regions(4)
+    };
+    OrchestratorConfig {
+        total_workers: workers,
+        ..OrchestratorConfig::new(search)
+    }
+}
+
+fn pool_strong_scaling(c: &mut Criterion) {
+    let fields = bench_fields();
     let mut group = c.benchmark_group("orchestrator_strong_scaling");
-    group.sample_size(10);
-    for workers in [1usize, 2, 4, 8] {
+    group.sample_size(sample_size());
+    for workers in WORKER_COUNTS {
+        // Build the pool once; iterations spawn zero OS threads.
+        let orch = Orchestrator::new("sz", bench_config(workers)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| orch.run_application(&fields));
+        });
+    }
+    group.finish();
+}
+
+fn spawn_per_batch(c: &mut Criterion) {
+    let fields = bench_fields();
+    let mut group = c.benchmark_group("orchestrator_spawn_per_batch");
+    group.sample_size(sample_size());
+    for workers in WORKER_COUNTS {
         group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
             b.iter(|| {
-                let search = SearchConfig {
-                    measure_final_quality: false,
-                    max_iterations: 10,
-                    ..SearchConfig::new(10.0, 0.1).with_regions(4)
-                };
-                let orch = Orchestrator::new(
-                    "sz",
-                    OrchestratorConfig {
-                        total_workers: w,
-                        ..OrchestratorConfig::new(search)
-                    },
-                )
-                .unwrap();
+                // Rebuilding the orchestrator re-spawns (and on drop joins)
+                // its `w` pool workers — the old per-batch thread cost.
+                let orch = Orchestrator::new("sz", bench_config(w)).unwrap();
                 orch.run_application(&fields)
             });
         });
@@ -43,5 +88,5 @@ fn scalability_benchmarks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, scalability_benchmarks);
+criterion_group!(benches, pool_strong_scaling, spawn_per_batch);
 criterion_main!(benches);

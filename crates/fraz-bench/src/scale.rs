@@ -18,8 +18,19 @@ pub enum Scale {
 impl Scale {
     /// Read the scale from the `FRAZ_BENCH_SCALE` environment variable.
     pub fn from_env() -> Self {
-        match std::env::var("FRAZ_BENCH_SCALE").as_deref() {
-            Ok("full") | Ok("FULL") | Ok("paper") => Scale::Full,
+        Self::parse(std::env::var("FRAZ_BENCH_SCALE").ok().as_deref())
+    }
+
+    /// Parse a raw `FRAZ_BENCH_SCALE` value: `"full"` / `"paper"` (any
+    /// case) select [`Scale::Full`]; anything else — including an unset
+    /// variable — falls back to [`Scale::Quick`].  Split out of
+    /// [`Scale::from_env`] so the mapping is testable without mutating
+    /// process-global environment state.
+    pub fn parse(value: Option<&str>) -> Self {
+        match value {
+            Some(v) if v.eq_ignore_ascii_case("full") || v.eq_ignore_ascii_case("paper") => {
+                Scale::Full
+            }
             _ => Scale::Quick,
         }
     }
@@ -54,10 +65,21 @@ mod tests {
     }
 
     #[test]
-    fn env_parsing_defaults_to_quick() {
-        // The variable is unlikely to be set in the test environment; the
-        // important property is that anything unrecognized maps to Quick.
-        let scale = Scale::from_env();
-        assert!(scale == Scale::Quick || scale == Scale::Full);
+    fn parse_recognizes_full_scale_spellings() {
+        assert_eq!(Scale::parse(Some("full")), Scale::Full);
+        assert_eq!(Scale::parse(Some("FULL")), Scale::Full);
+        assert_eq!(Scale::parse(Some("Full")), Scale::Full);
+        assert_eq!(Scale::parse(Some("paper")), Scale::Full);
+        assert_eq!(Scale::parse(Some("PAPER")), Scale::Full);
+    }
+
+    #[test]
+    fn parse_defaults_everything_else_to_quick() {
+        assert_eq!(Scale::parse(None), Scale::Quick);
+        assert_eq!(Scale::parse(Some("")), Scale::Quick);
+        assert_eq!(Scale::parse(Some("quick")), Scale::Quick);
+        assert_eq!(Scale::parse(Some("garbage")), Scale::Quick);
+        assert_eq!(Scale::parse(Some("ful")), Scale::Quick);
+        assert_eq!(Scale::parse(Some(" full ")), Scale::Quick, "no trimming");
     }
 }

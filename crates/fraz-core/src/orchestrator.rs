@@ -12,17 +12,20 @@
 //!   field, which is what limits strong scaling in the paper's Fig. 8.
 //!
 //! The original implementation distributed this over MPI ranks; here the
-//! same task graph runs on worker threads (see DESIGN.md for the
-//! substitution rationale) with a `total_workers` knob standing in for the
-//! paper's core counts.
+//! same task graph runs on a shared work-stealing thread pool
+//! ([`fraz_pool::Pool`]) with a `total_workers` knob standing in for the
+//! paper's core counts.  The pool is built once, when the orchestrator is
+//! constructed; field tasks and their nested region tasks are all
+//! submitted to it, so repeated `run_application` calls spawn no OS
+//! threads at all.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use fraz_data::Dataset;
+use fraz_pool::Pool;
 use fraz_pressio::registry::{self, Registry, RegistryError};
 use fraz_pressio::{Compressor, Options};
 
@@ -115,12 +118,45 @@ impl OrchestratorConfig {
         }
     }
 
-    /// How many fields run concurrently and how many threads each field's
-    /// region search gets, for the configured worker budget.
+    /// The largest number of workers this application shape can keep busy:
+    /// never more than the configured budget, and never more than one
+    /// worker per region per field.  When the budget exceeds this, the
+    /// surplus workers stay parked — they are not an error, but a caller
+    /// sizing a shared pool can shrink to this instead.
+    pub fn effective_workers(&self, num_fields: usize) -> usize {
+        let capacity = num_fields.max(1).saturating_mul(self.search.regions.max(1));
+        self.resolved_workers().max(1).min(capacity)
+    }
+
+    /// The static approximation of the run's shape: how many fields run
+    /// concurrently and how many region tasks each field's search stripes
+    /// its work across.
+    ///
+    /// Since the orchestrator executes on a shared work-stealing pool,
+    /// this split is *advisory* — idle workers steal region tasks from
+    /// whichever field still has them, so a remainder of the budget is
+    /// spread across the in-flight fields instead of stranding workers
+    /// (e.g. 30 workers over 12-region searches now schedules 3 fields
+    /// × 10 threads = 30 busy workers, not 2 × 12 = 24).
     pub fn schedule(&self, num_fields: usize) -> (usize, usize) {
-        let workers = self.resolved_workers().max(1);
+        self.schedule_for(self.resolved_workers(), num_fields)
+    }
+
+    /// [`OrchestratorConfig::schedule`] for an explicit worker budget —
+    /// used by the orchestrator itself so that a shared pool installed
+    /// via [`Orchestrator::with_pool`] is scheduled (and reported) at the
+    /// pool's *actual* size rather than this config's `total_workers`.
+    pub fn schedule_for(&self, budget: usize, num_fields: usize) -> (usize, usize) {
         let per_search = self.search.regions.max(1);
-        let field_concurrency = (workers / per_search).clamp(1, num_fields.max(1));
+        let num_fields = num_fields.max(1);
+        // Shrink the budget to what this shape can actually occupy, then
+        // take enough fields in flight to cover it even when the division
+        // leaves a remainder.
+        let capacity = num_fields.saturating_mul(per_search);
+        let workers = budget.max(1).min(capacity);
+        let field_concurrency = workers
+            .div_ceil(per_search)
+            .clamp(1, num_fields.min(workers));
         let threads_per_search = (workers / field_concurrency).clamp(1, per_search);
         (field_concurrency, threads_per_search)
     }
@@ -128,11 +164,18 @@ impl OrchestratorConfig {
 
 /// The parallel orchestrator for one compressor backend.
 ///
-/// Holds a shared `Arc<dyn Compressor>` handle: `Compressor` is `Send +
-/// Sync`, so every field worker drives the same backend instance.
+/// Holds a shared `Arc<dyn Compressor>` handle (`Compressor` is `Send +
+/// Sync`, so every field worker drives the same backend instance) and one
+/// shared work-stealing [`Pool`] of `total_workers` threads.  Field tasks
+/// and their nested region tasks all run on that pool, so once it exists
+/// a run spawns **zero** OS threads.  The pool is created lazily, on the
+/// first run (or by [`Orchestrator::pool`]): an orchestrator that is
+/// handed a shared pool via [`Orchestrator::with_pool`] never builds —
+/// and then throws away — a private one.
 pub struct Orchestrator {
     compressor: Arc<dyn Compressor>,
     config: OrchestratorConfig,
+    pool: OnceLock<Arc<Pool>>,
 }
 
 impl Orchestrator {
@@ -157,7 +200,25 @@ impl Orchestrator {
         Self {
             compressor: compressor.into(),
             config,
+            pool: OnceLock::new(),
         }
+    }
+
+    /// Use `pool` instead of a private one, e.g. so several orchestrators
+    /// (or concurrent `run_application` calls) draw from a single worker
+    /// budget instead of oversubscribing the machine.  Because the private
+    /// pool is created lazily, calling this right after construction
+    /// spawns no threads at all for the replaced pool.
+    pub fn with_pool(mut self, pool: Arc<Pool>) -> Self {
+        self.pool = OnceLock::from(pool);
+        self
+    }
+
+    /// The pool every field and region task of this orchestrator runs on,
+    /// creating the private `total_workers`-sized pool on first use.
+    pub fn pool(&self) -> &Arc<Pool> {
+        self.pool
+            .get_or_init(|| Arc::new(Pool::new(self.config.resolved_workers())))
     }
 
     /// Create an orchestrator by building `name` from `registry` with the
@@ -190,6 +251,7 @@ impl Orchestrator {
             ..self.config.search.clone()
         };
         FixedRatioSearch::new(Arc::clone(&self.compressor), search_config)
+            .with_pool(Arc::clone(self.pool()))
     }
 
     /// Tune one field's time series sequentially, reusing the previous
@@ -231,35 +293,36 @@ impl Orchestrator {
     /// Algorithm 3: tune every field of an application, fields in parallel.
     ///
     /// `fields` pairs each field name with its time series of datasets.
+    ///
+    /// Every field becomes one task on the shared pool and each field's
+    /// region race runs as nested tasks on the *same* pool, so the worker
+    /// budget flows to wherever work remains: when a field finishes early
+    /// its workers steal region tasks from the fields still running,
+    /// instead of idling behind a static fields × regions split.
     pub fn run_application(&self, fields: &[(String, Vec<Dataset>)]) -> ApplicationOutcome {
         let start = Instant::now();
-        let (field_concurrency, threads_per_search) = self.config.schedule(fields.len());
-        let queue: Mutex<Vec<usize>> = Mutex::new((0..fields.len()).rev().collect());
-        let results: Mutex<Vec<Option<SeriesOutcome>>> = Mutex::new(vec![None; fields.len()]);
+        // Schedule and report against the pool that will actually run the
+        // tasks — with_pool may have installed a budget different from
+        // this config's total_workers.
+        let pool_threads = self.pool().threads();
+        let (_, threads_per_search) = self.config.schedule_for(pool_threads, fields.len());
+        let mut results: Vec<Option<SeriesOutcome>> = vec![None; fields.len()];
 
-        std::thread::scope(|scope| {
-            for _ in 0..field_concurrency {
-                scope.spawn(|| loop {
-                    let index = match queue.lock().pop() {
-                        Some(i) => i,
-                        None => break,
-                    };
-                    let (name, series) = &fields[index];
-                    let outcome = self.run_series(name, series, threads_per_search);
-                    results.lock()[index] = Some(outcome);
-                });
+        self.pool().scope(|scope| {
+            for (slot, (name, series)) in results.iter_mut().zip(fields) {
+                scope
+                    .spawn(move || *slot = Some(self.run_series(name, series, threads_per_search)));
             }
         });
 
         let fields_out: Vec<SeriesOutcome> = results
-            .into_inner()
             .into_iter()
             .map(|o| o.expect("every field processed"))
             .collect();
         ApplicationOutcome {
             fields: fields_out,
             elapsed: start.elapsed(),
-            total_workers: self.config.resolved_workers(),
+            total_workers: pool_threads,
         }
     }
 }
@@ -361,14 +424,52 @@ mod tests {
         };
         // 12 regions per search -> 3 fields in flight, 12 threads each.
         assert_eq!(config.schedule(13), (3, 12));
-        // Fewer fields than the budget allows: concurrency capped by fields.
+        assert_eq!(config.effective_workers(13), 36);
+        // Fewer fields than the budget allows: concurrency capped by the
+        // fields, and the budget shrinks to what 2 x 12 regions can keep
+        // busy instead of pretending all 36 workers have work.
         assert_eq!(config.schedule(2), (2, 12));
+        assert_eq!(config.effective_workers(2), 24);
+        // A budget that does not divide evenly is spread across MORE
+        // in-flight fields rather than stranding the remainder: 30 workers
+        // over 12-region searches used to yield (2, 12) = 24 busy workers.
+        let uneven = OrchestratorConfig {
+            total_workers: 30,
+            ..config.clone()
+        };
+        assert_eq!(uneven.schedule(13), (3, 10));
+        assert_eq!(uneven.effective_workers(13), 30);
         // A tiny budget still schedules something.
         let small = OrchestratorConfig {
             total_workers: 1,
             ..config.clone()
         };
         assert_eq!(small.schedule(5), (1, 1));
+        assert_eq!(small.effective_workers(5), 1);
+    }
+
+    #[test]
+    fn with_pool_schedules_and_reports_the_actual_pool_budget() {
+        // A shared pool's size wins over the config's total_workers: the
+        // outcome must attribute timings to the budget that really ran.
+        let orch = Orchestrator::new(
+            "sz",
+            OrchestratorConfig {
+                total_workers: 8,
+                ..OrchestratorConfig::new(quick_search(8.0))
+            },
+        )
+        .unwrap()
+        .with_pool(std::sync::Arc::new(fraz_pool::Pool::new(2)));
+        let fields: Vec<(String, Vec<Dataset>)> = vec![
+            ("TCf".to_string(), hurricane_series("TCf", 1)),
+            ("Pf".to_string(), hurricane_series("Pf", 1)),
+        ];
+        let outcome = orch.run_application(&fields);
+        assert_eq!(outcome.total_workers, 2);
+        assert_eq!(orch.pool().threads(), 2);
+        // The static split shrinks to the installed budget too.
+        assert_eq!(orch.config().schedule_for(2, 2), (1, 2));
     }
 
     #[test]

@@ -11,14 +11,14 @@
 //! ratio is reported as an infeasible-but-best-effort answer — exactly the
 //! semantics of the paper's Algorithms 1 and 2.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use fraz_data::Dataset;
+use fraz_pool::Pool;
 use fraz_pressio::{CompressionOutcome, Compressor};
 
 use crate::loss::RatioLoss;
@@ -46,8 +46,10 @@ pub struct SearchConfig {
     pub use_cutoff: bool,
     /// Layout of the regions on the error-bound axis.
     pub scale: BoundScale,
-    /// Worker threads for region-parallel training; 0 means one per region
-    /// (capped by the available parallelism).
+    /// Concurrent worker tasks for region-parallel training; 0 means one
+    /// per region (capped by the available parallelism).  Region tasks run
+    /// on a shared [`fraz_pool::Pool`], so this caps the number of regions
+    /// in flight for *this* search, not OS threads.
     pub threads: usize,
     /// After the search, re-run the best setting with full quality metrics.
     pub measure_final_quality: bool,
@@ -122,6 +124,10 @@ pub struct RegionOutcome {
     pub reached_cutoff: bool,
     /// True if the region was cancelled by another region's success.
     pub cancelled: bool,
+    /// The full compression outcome measured at `error_bound`, carried out
+    /// of the region so the winning bound need not be re-compressed after
+    /// the race (absent only if the best evaluation errored).
+    pub measured: Option<CompressionOutcome>,
 }
 
 /// Result of a fixed-ratio search on one dataset.
@@ -138,7 +144,9 @@ pub struct SearchOutcome {
     /// Whether a fresh training search ran (false when a previous time-step's
     /// prediction was reused, Algorithm 1).
     pub retrained: bool,
-    /// Total number of compressor invocations.
+    /// Total number of compressor invocations the *search* spent (the
+    /// optional final quality pass of `measure_final_quality` is not a
+    /// search evaluation and is not counted).
     pub evaluations: usize,
     /// Wall-clock time of the whole search.
     pub elapsed: Duration,
@@ -150,6 +158,7 @@ pub struct SearchOutcome {
 pub struct FixedRatioSearch {
     compressor: Arc<dyn Compressor>,
     config: SearchConfig,
+    pool: Option<Arc<Pool>>,
 }
 
 impl FixedRatioSearch {
@@ -158,11 +167,24 @@ impl FixedRatioSearch {
     /// Accepts either an owned `Box<dyn Compressor>` (e.g. fresh from
     /// `registry::build`) or a shared `Arc<dyn Compressor>` handle, so one
     /// backend instance can serve several searches concurrently.
+    ///
+    /// Region tasks run on the process-wide [`fraz_pool::global`] pool
+    /// unless [`FixedRatioSearch::with_pool`] installs a dedicated one; no
+    /// call to [`FixedRatioSearch::run`] ever spawns an OS thread.
     pub fn new(compressor: impl Into<Arc<dyn Compressor>>, config: SearchConfig) -> Self {
         Self {
             compressor: compressor.into(),
             config,
+            pool: None,
         }
+    }
+
+    /// Run this search's region tasks on `pool` instead of the global
+    /// pool.  The orchestrator uses this to put every field's region tasks
+    /// on its single shared pool.
+    pub fn with_pool(mut self, pool: Arc<Pool>) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// Borrow the underlying compressor.
@@ -204,8 +226,10 @@ impl FixedRatioSearch {
         let loss = self.config.loss();
 
         // Step 1 of Algorithm 1: if a prediction was provided, try it first.
+        let mut probe_evaluations = 0usize;
         if let Some(p) = prediction {
             if p > 0.0 {
+                probe_evaluations = 1;
                 if let Ok(outcome) = self.compressor.evaluate(dataset, p, false) {
                     if loss.is_acceptable(outcome.compression_ratio) {
                         let best = self.finalize(dataset, p, outcome);
@@ -233,34 +257,43 @@ impl FixedRatioSearch {
             self.config.scale,
         );
         let cancel = AtomicBool::new(false);
-        let queue: Mutex<Vec<Region>> = Mutex::new(regions.clone());
-        let results: Mutex<Vec<RegionOutcome>> = Mutex::new(Vec::with_capacity(regions.len()));
-        let workers = self.config.worker_count();
+        let workers = self.config.worker_count().min(regions.len()).max(1);
 
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    if cancel.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let region = match queue.lock().pop() {
-                        Some(r) => r,
-                        None => break,
-                    };
-                    let outcome = self.search_region(dataset, &loss, region, &cancel);
-                    let acceptable = loss.is_acceptable(outcome.compression_ratio);
-                    results.lock().push(outcome);
-                    if acceptable {
-                        // Early termination: cancel every region that has not
-                        // finished yet (Algorithm 2, lines 9-14).
-                        cancel.store(true, Ordering::Relaxed);
-                        break;
-                    }
-                });
-            }
-        });
+        // `workers` runner tasks drain the regions through a shared atomic
+        // cursor — the same dynamic load balancing as the old mutex-backed
+        // queue (any idle runner claims the next region) without a queue
+        // or a result mutex, and zero OS threads spawned here.  Highest-
+        // bound regions go first (matching the original LIFO pops): for
+        // targets well above 1:1 they are the likeliest to contain the
+        // answer, which is what makes early termination pay.
+        let regions_desc: Vec<Region> = {
+            let mut r = regions;
+            r.reverse();
+            r
+        };
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Vec<RegionOutcome>> = vec![Vec::new(); workers];
+        if workers == 1 {
+            self.run_region_queue(dataset, &loss, &regions_desc, &next, &cancel, &mut slots[0]);
+        } else {
+            let pool: &Pool = match &self.pool {
+                Some(pool) => pool,
+                None => fraz_pool::global(),
+            };
+            pool.scope(|scope| {
+                let cancel = &cancel;
+                let loss = &loss;
+                let next = &next;
+                let regions_desc = &regions_desc;
+                for slot in slots.iter_mut() {
+                    scope.spawn(move || {
+                        self.run_region_queue(dataset, loss, regions_desc, next, cancel, slot)
+                    });
+                }
+            });
+        }
+        let regions_out: Vec<RegionOutcome> = slots.into_iter().flatten().collect();
 
-        let regions_out = results.into_inner();
         let mut best: Option<&RegionOutcome> = None;
         for r in &regions_out {
             let better = match best {
@@ -275,28 +308,70 @@ impl FixedRatioSearch {
             Some(b) => (b.error_bound, loss.is_acceptable(b.compression_ratio)),
             None => (lower, false),
         };
-        let evaluations: usize = regions_out.iter().map(|r| r.iterations).sum();
-        let best_outcome = self
-            .compressor
-            .evaluate(dataset, error_bound, false)
-            .unwrap_or(CompressionOutcome {
-                compressor: self.compressor.name().to_string(),
-                error_bound,
-                compression_ratio: 0.0,
-                bit_rate: 0.0,
-                compressed_bytes: 0,
-                original_bytes: dataset.byte_size(),
-                quality: None,
-            });
-        let best = self.finalize(dataset, error_bound, best_outcome);
+        // A missed prediction probe still invoked the compressor once.
+        let mut evaluations: usize =
+            probe_evaluations + regions_out.iter().map(|r| r.iterations).sum::<usize>();
+        // The winning region already measured its best bound — reuse that
+        // outcome instead of re-running the compressor, and only count an
+        // extra evaluation in the rare case we really must re-measure.
+        let measured = match best.and_then(|b| b.measured.clone()) {
+            Some(m) => m,
+            None => {
+                evaluations += 1;
+                self.compressor
+                    .evaluate(dataset, error_bound, false)
+                    .unwrap_or(CompressionOutcome {
+                        compressor: self.compressor.name().to_string(),
+                        error_bound,
+                        compression_ratio: 0.0,
+                        bit_rate: 0.0,
+                        compressed_bytes: 0,
+                        original_bytes: dataset.byte_size(),
+                        quality: None,
+                    })
+            }
+        };
+        let best = self.finalize(dataset, error_bound, measured);
         SearchOutcome {
             error_bound,
             best,
             feasible,
             retrained: true,
-            evaluations: evaluations + 1,
+            evaluations,
             elapsed: start.elapsed(),
             regions: regions_out,
+        }
+    }
+
+    /// One runner task: repeatedly claim the next unstarted region via the
+    /// shared cursor and search it, observing and raising the shared
+    /// early-termination flag (Algorithm 2, lines 9-14).
+    fn run_region_queue(
+        &self,
+        dataset: &Dataset,
+        loss: &RatioLoss,
+        regions: &[Region],
+        next: &AtomicUsize,
+        cancel: &AtomicBool,
+        out: &mut Vec<RegionOutcome>,
+    ) {
+        loop {
+            if cancel.load(Ordering::Relaxed) {
+                break;
+            }
+            let index = next.fetch_add(1, Ordering::Relaxed);
+            let Some(region) = regions.get(index) else {
+                break;
+            };
+            let outcome = self.search_region(dataset, loss, region.clone(), cancel);
+            let acceptable = loss.is_acceptable(outcome.compression_ratio);
+            out.push(outcome);
+            if acceptable {
+                // Early termination: cancel every region that has not
+                // finished yet.
+                cancel.store(true, Ordering::Relaxed);
+                break;
+            }
         }
     }
 
@@ -309,11 +384,17 @@ impl FixedRatioSearch {
         region: Region,
         cancel: &AtomicBool,
     ) -> RegionOutcome {
+        // Track the best full outcome seen so the caller can reuse the
+        // winning measurement instead of re-compressing after the race.
+        let mut best_seen: Option<(f64, CompressionOutcome)> = None;
         let mut objective = |e: f64| match self.compressor.evaluate(dataset, e, false) {
-            Ok(outcome) => (
-                loss.loss(outcome.compression_ratio),
-                outcome.compression_ratio,
-            ),
+            Ok(outcome) => {
+                let l = loss.loss(outcome.compression_ratio);
+                if best_seen.as_ref().is_none_or(|(seen, _)| l < *seen) {
+                    best_seen = Some((l, outcome.clone()));
+                }
+                (l, outcome.compression_ratio)
+            }
             Err(_) => (loss.gamma, 0.0),
         };
         let optimizer = GlobalMinimizer::new(OptimizerConfig {
@@ -326,6 +407,12 @@ impl FixedRatioSearch {
             ..Default::default()
         });
         let trace = optimizer.minimize(&mut objective, region.lower, region.upper, Some(cancel));
+        // Both trackers keep the *first* minimum in evaluation order, so
+        // this equality holds whenever the best evaluation succeeded; the
+        // comparison guards the corner where it errored (loss = gamma).
+        let measured = best_seen
+            .map(|(_, outcome)| outcome)
+            .filter(|outcome| outcome.error_bound == trace.best.x);
         RegionOutcome {
             region,
             error_bound: trace.best.x,
@@ -334,6 +421,7 @@ impl FixedRatioSearch {
             iterations: trace.iterations(),
             reached_cutoff: trace.reached_cutoff,
             cancelled: trace.cancelled,
+            measured,
         }
     }
 

@@ -19,6 +19,9 @@
 //! * [`pressio`] — the libpressio-like abstraction layer over compressors:
 //!   the [`Compressor`] trait, the extensible [`Registry`] with
 //!   introspectable [`CodecDescriptor`]s, and validated [`Options`].
+//! * [`pool`] — the work-stealing scoped thread pool shared by the search
+//!   and the orchestrator (nested, re-entrant scopes; zero per-call thread
+//!   spawns).
 //! * [`core`] — FRaZ itself: the fixed-ratio autotuning optimizer and the
 //!   parallel orchestrator.
 //!
@@ -66,6 +69,7 @@ pub use fraz_data as data;
 pub use fraz_lossless as lossless;
 pub use fraz_metrics as metrics;
 pub use fraz_mgard as mgard;
+pub use fraz_pool as pool;
 pub use fraz_pressio as pressio;
 pub use fraz_sz as sz;
 pub use fraz_zfp as zfp;
