@@ -1,0 +1,34 @@
+//! The `fraz` command-line tool: FRaZ over real SDRBench-style directories.
+//!
+//! The paper's evaluation (§V of Underwood et al., IPDPS 2020) runs the
+//! fixed-ratio search over whole application directories — Hurricane, NYX,
+//! CESM — and reports per-field ratio/PSNR tables.  This crate is that
+//! workflow as a binary: a TOML or JSON *dataset manifest* describes each
+//! field (name, file(s), dtype, dims, target ratio or minimum PSNR), and
+//! `fraz run` drives every field through the shared-pool
+//! [`Orchestrator`](fraz_core::Orchestrator), printing an aligned per-field
+//! table and appending JSONL records suitable for `baselines/`.
+//!
+//! Module map:
+//!
+//! * [`toml`] — a TOML-subset parser producing [`serde_json::Value`] trees,
+//!   so TOML and JSON manifests share one derived-`Deserialize` path,
+//! * [`config`] — extension-dispatched manifest loading,
+//! * [`runner`] — manifest → orchestrator/quality-search execution,
+//! * [`report`] — per-field rows, the aligned table, JSONL records,
+//! * [`cli`] — argument parsing and the `run`/`validate`/`codecs`
+//!   subcommands.
+//!
+//! The manifest schema itself lives in [`fraz_data::manifest`] so library
+//! users can load the same files without the CLI.
+
+pub mod cli;
+pub mod config;
+pub mod report;
+pub mod runner;
+pub mod toml;
+
+pub use cli::run_cli;
+pub use config::load_manifest;
+pub use report::{FieldRow, RunReport};
+pub use runner::{run, RunError, RunOverrides};

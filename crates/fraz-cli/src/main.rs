@@ -1,0 +1,9 @@
+//! Thin binary wrapper: all logic lives in the `fraz_cli` library so the
+//! integration tests can drive it in-process.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(fraz_cli::run_cli(&args))
+}

@@ -1,0 +1,283 @@
+//! Drives a resolved manifest through FRaZ: fixed-ratio fields through the
+//! [`Orchestrator`] (fields in parallel, time-step prediction reuse —
+//! Algorithm 3), quality-targeted fields through [`FixedQualitySearch`] —
+//! every task on the one shared work-stealing pool, exactly as the paper's
+//! evaluation ran whole SDRBench applications.
+
+use std::fmt;
+use std::path::Path;
+use std::time::Instant;
+
+use fraz_core::{
+    FieldTask, FixedQualitySearch, Orchestrator, OrchestratorConfig, QualityMetric,
+    QualitySearchConfig, QualitySearchOutcome, SearchConfig, SeriesOutcome,
+};
+use fraz_data::manifest::{FieldTarget, Manifest, ManifestError, ResolvedField};
+use fraz_pressio::registry::RegistryError;
+use fraz_pressio::{registry, Options};
+
+use crate::report::{FieldRow, RunReport};
+
+/// Command-line overrides applied on top of the manifest's settings.
+#[derive(Debug, Clone, Default)]
+pub struct RunOverrides {
+    /// Worker threads for the shared pool (overrides the manifest).
+    pub workers: Option<usize>,
+    /// Compressor registry name (overrides the manifest).
+    pub compressor: Option<String>,
+}
+
+/// Errors running a manifest.
+#[derive(Debug)]
+pub enum RunError {
+    /// The manifest failed to load, validate, or resolve.
+    Manifest(ManifestError),
+    /// The compressor could not be built from the registry.
+    Registry(RegistryError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Manifest(e) => write!(f, "{e}"),
+            RunError::Registry(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<ManifestError> for RunError {
+    fn from(e: ManifestError) -> Self {
+        RunError::Manifest(e)
+    }
+}
+
+impl From<RegistryError> for RunError {
+    fn from(e: RegistryError) -> Self {
+        RunError::Registry(e)
+    }
+}
+
+/// The per-dataset search settings a manifest implies, before any
+/// per-field target is applied.
+fn base_search(manifest: &Manifest) -> SearchConfig {
+    let mut search = SearchConfig::new(
+        manifest.target_ratio.unwrap_or(10.0),
+        manifest.tolerance.unwrap_or(0.1),
+    );
+    search.max_error_bound = manifest.max_error_bound;
+    if let Some(regions) = manifest.regions {
+        search.regions = regions.max(1);
+    }
+    if let Some(iters) = manifest.max_iterations {
+        search.max_iterations = iters.max(1);
+    }
+    search
+}
+
+/// Resolve `manifest` against `manifest_dir` and run every field,
+/// returning the per-field report.
+pub fn run(
+    manifest: &Manifest,
+    manifest_dir: &Path,
+    overrides: &RunOverrides,
+) -> Result<RunReport, RunError> {
+    let start = Instant::now();
+    let mut resolved = manifest.resolve(manifest_dir)?;
+    let compressor_name = overrides
+        .compressor
+        .as_deref()
+        .unwrap_or(&resolved.compressor);
+    let compressor = registry::build_arc(compressor_name, &Options::new())?;
+
+    let search = base_search(manifest);
+    let orchestrator = Orchestrator::with_compressor(
+        compressor.clone(),
+        OrchestratorConfig {
+            search: search.clone(),
+            total_workers: overrides.workers.or(manifest.workers).unwrap_or(0),
+            reuse_prediction: true,
+        },
+    );
+
+    // Fixed-ratio fields run as one parallel application (Algorithm 3),
+    // each carrying its own target through a per-task search override.
+    // The loaded series are *moved* into the tasks (row assembly below
+    // only needs the field names and targets) — real SDRBench fields are
+    // gigabytes, so cloning them would double peak memory.
+    let ratio_tasks: Vec<FieldTask> = resolved
+        .fields
+        .iter_mut()
+        .filter_map(|field| match field.target {
+            FieldTarget::Ratio(target) => Some(
+                FieldTask::new(field.name.clone(), std::mem::take(&mut field.series)).with_search(
+                    SearchConfig {
+                        target_ratio: target,
+                        ..search.clone()
+                    },
+                ),
+            ),
+            FieldTarget::MinPsnr(_) => None,
+        })
+        .collect();
+    let quality_fields: Vec<&ResolvedField> = resolved
+        .fields
+        .iter()
+        .filter(|f| matches!(f.target, FieldTarget::MinPsnr(_)))
+        .collect();
+
+    // One scope, both kinds of work: the whole ratio application runs as
+    // a task next to the per-field quality searches, so a quality field
+    // does not wait for the ratio phase (nor vice versa) — the pool's
+    // re-entrant scopes let `run_tasks` open its nested field/region
+    // scopes from inside this one.
+    let mut ratio_application = None;
+    let mut quality_outcomes: Vec<Option<(Vec<QualitySearchOutcome>, f64)>> =
+        vec![None; quality_fields.len()];
+    let max_error_bound = manifest.max_error_bound;
+    let max_iterations = manifest.max_iterations;
+    orchestrator.pool().scope(|scope| {
+        if !ratio_tasks.is_empty() {
+            let orchestrator = &orchestrator;
+            let ratio_tasks = &ratio_tasks;
+            let slot = &mut ratio_application;
+            scope.spawn(move || *slot = Some(orchestrator.run_tasks(ratio_tasks)));
+        }
+        for (slot, field) in quality_outcomes.iter_mut().zip(&quality_fields) {
+            let compressor = compressor.clone();
+            scope.spawn(move || {
+                let FieldTarget::MinPsnr(min_psnr) = field.target else {
+                    unreachable!("filtered above")
+                };
+                let mut config = QualitySearchConfig::new(QualityMetric::PsnrAtLeast(min_psnr));
+                config.max_error_bound = max_error_bound;
+                if let Some(iters) = max_iterations {
+                    config.max_iterations = iters.max(2);
+                }
+                let search = FixedQualitySearch::new(compressor, config);
+                let field_start = Instant::now();
+                let outcomes: Vec<QualitySearchOutcome> =
+                    field.series.iter().map(|ds| search.run(ds)).collect();
+                *slot = Some((outcomes, field_start.elapsed().as_secs_f64() * 1e3));
+            });
+        }
+    });
+    let ratio_outcomes: Vec<SeriesOutcome> =
+        ratio_application.map(|app| app.fields).unwrap_or_default();
+
+    // Reassemble rows in manifest order.
+    let mut rows = Vec::with_capacity(resolved.fields.len());
+    for field in &resolved.fields {
+        let row = match field.target {
+            FieldTarget::Ratio(_) => {
+                let outcome = ratio_outcomes
+                    .iter()
+                    .find(|o| o.field == field.name)
+                    .expect("every ratio task produces an outcome");
+                ratio_row(&resolved.application, compressor.name(), field, outcome)
+            }
+            FieldTarget::MinPsnr(_) => {
+                let index = quality_fields
+                    .iter()
+                    .position(|f| f.name == field.name)
+                    .expect("filtered from the same list");
+                let (outcomes, elapsed_ms) = quality_outcomes[index]
+                    .as_ref()
+                    .expect("every quality task produces an outcome");
+                quality_row(
+                    &resolved.application,
+                    compressor.name(),
+                    field,
+                    outcomes,
+                    *elapsed_ms,
+                )
+            }
+        };
+        rows.push(row);
+    }
+
+    Ok(RunReport {
+        rows,
+        workers: orchestrator.pool().threads(),
+        elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> Option<f64> {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+fn ratio_row(
+    application: &str,
+    compressor: &str,
+    field: &ResolvedField,
+    outcome: &SeriesOutcome,
+) -> FieldRow {
+    let steps = &outcome.steps;
+    FieldRow {
+        application: application.to_string(),
+        field: field.name.clone(),
+        compressor: compressor.to_string(),
+        target: field.target.to_string(),
+        steps: steps.len(),
+        error_bound: steps.last().map_or(0.0, |s| s.error_bound),
+        ratio: mean(steps.iter().map(|s| s.best.compression_ratio)).unwrap_or(0.0),
+        bit_rate: mean(steps.iter().map(|s| s.best.bit_rate)).unwrap_or(0.0),
+        psnr: mean(
+            steps
+                .iter()
+                .filter_map(|s| s.best.quality.as_ref())
+                .map(|q| q.psnr),
+        ),
+        max_abs_error: steps
+            .iter()
+            .filter_map(|s| s.best.quality.as_ref())
+            .map(|q| q.max_abs_error)
+            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e)))),
+        feasible_steps: steps.iter().filter(|s| s.feasible).count(),
+        retrained_steps: outcome.retrain_steps.len(),
+        evaluations: outcome.total_evaluations(),
+        elapsed_ms: outcome.elapsed.as_secs_f64() * 1e3,
+    }
+}
+
+fn quality_row(
+    application: &str,
+    compressor: &str,
+    field: &ResolvedField,
+    outcomes: &[QualitySearchOutcome],
+    elapsed_ms: f64,
+) -> FieldRow {
+    FieldRow {
+        application: application.to_string(),
+        field: field.name.clone(),
+        compressor: compressor.to_string(),
+        target: field.target.to_string(),
+        steps: outcomes.len(),
+        error_bound: outcomes.last().map_or(0.0, |o| o.error_bound),
+        ratio: mean(outcomes.iter().map(|o| o.best.compression_ratio)).unwrap_or(0.0),
+        bit_rate: mean(outcomes.iter().map(|o| o.best.bit_rate)).unwrap_or(0.0),
+        psnr: mean(
+            outcomes
+                .iter()
+                .filter_map(|o| o.best.quality.as_ref())
+                .map(|q| q.psnr),
+        ),
+        max_abs_error: outcomes
+            .iter()
+            .filter_map(|o| o.best.quality.as_ref())
+            .map(|q| q.max_abs_error)
+            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e)))),
+        feasible_steps: outcomes.iter().filter(|o| o.satisfiable).count(),
+        // Quality searches have no prediction reuse: every step trains.
+        retrained_steps: outcomes.len(),
+        evaluations: outcomes.iter().map(|o| o.evaluations).sum(),
+        elapsed_ms,
+    }
+}

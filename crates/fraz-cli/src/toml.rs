@@ -1,0 +1,683 @@
+//! A TOML frontend for the manifest loader: parses the TOML subset dataset
+//! manifests use into a [`serde_json::Value`] tree, which then deserializes
+//! through the workspace's derived [`serde::Deserialize`] impls — the TOML
+//! and JSON paths share every manifest type and every validation rule.
+//!
+//! Supported TOML (the practical config subset): comments, `[table]` and
+//! `[[array-of-tables]]` headers with dotted/quoted paths, dotted keys,
+//! basic and literal strings (with `\uXXXX`/`\UXXXXXXXX` escapes),
+//! integers with `_` separators, floats, booleans, possibly-multiline
+//! arrays, and inline tables.  Not supported (rejected with a clear
+//! error): dates/times, multi-line strings, and hex/octal/binary integer
+//! prefixes — none of which a dataset manifest needs.
+
+use std::collections::BTreeMap;
+
+use serde_json::{Map, Number, Value};
+
+/// A TOML syntax or structure error with its 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TomlError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line of the offending character.
+    pub line: usize,
+}
+
+impl std::fmt::Display for TomlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at line {}", self.message, self.line)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+/// Intermediate tree: like [`Value`] but with mutable nested tables, which
+/// the flat shared [`Map`] type does not offer.
+#[derive(Debug, Clone)]
+enum Item {
+    Table(BTreeMap<String, Item>),
+    /// `[[name]]` array of tables.
+    TableArray(Vec<BTreeMap<String, Item>>),
+    Array(Vec<Item>),
+    Scalar(Value),
+}
+
+impl Item {
+    fn into_value(self) -> Value {
+        match self {
+            Item::Table(entries) => Value::Object(table_to_map(entries)),
+            Item::TableArray(tables) => Value::Array(
+                tables
+                    .into_iter()
+                    .map(|t| Value::Object(table_to_map(t)))
+                    .collect(),
+            ),
+            Item::Array(items) => Value::Array(items.into_iter().map(Item::into_value).collect()),
+            Item::Scalar(v) => v,
+        }
+    }
+}
+
+fn table_to_map(entries: BTreeMap<String, Item>) -> Map {
+    let mut map = Map::new();
+    for (k, v) in entries {
+        map.insert(k, v.into_value());
+    }
+    map
+}
+
+/// Parse a TOML document into a JSON value tree (the root table becomes the
+/// root object).
+pub fn parse(input: &str) -> Result<Value, TomlError> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    let mut root: BTreeMap<String, Item> = BTreeMap::new();
+    // Path of the table the current `key = value` lines land in.
+    let mut current_path: Vec<String> = Vec::new();
+
+    loop {
+        parser.skip_trivia();
+        match parser.peek() {
+            None => break,
+            Some(b'[') => {
+                parser.pos += 1;
+                let array_of_tables = parser.peek() == Some(b'[');
+                if array_of_tables {
+                    parser.pos += 1;
+                }
+                let path = parser.key_path()?;
+                parser.expect(b']')?;
+                if array_of_tables {
+                    parser.expect(b']')?;
+                }
+                // Structure checks happen *before* the newline is
+                // consumed, so their errors name the statement's own line.
+                if array_of_tables {
+                    let parent =
+                        navigate(&mut root, &path[..path.len() - 1]).map_err(|m| parser.err(m))?;
+                    let leaf = path.last().expect("key paths are non-empty");
+                    match parent
+                        .entry(leaf.clone())
+                        .or_insert_with(|| Item::TableArray(Vec::new()))
+                    {
+                        Item::TableArray(tables) => tables.push(BTreeMap::new()),
+                        _ => {
+                            return Err(parser.err(format!(
+                                "`[[{leaf}]]` conflicts with an earlier non-array definition"
+                            )))
+                        }
+                    }
+                } else {
+                    // Materialize the table (and fail on redefinition of a
+                    // scalar/array with the same name).
+                    navigate(&mut root, &path).map_err(|m| parser.err(m))?;
+                }
+                parser.end_of_line()?;
+                current_path = path;
+            }
+            Some(_) => {
+                let path = parser.key_path()?;
+                parser.expect(b'=')?;
+                parser.skip_spaces();
+                let value = parser.value()?;
+                let mut full = current_path.clone();
+                full.extend(path.iter().cloned());
+                let parent =
+                    navigate(&mut root, &full[..full.len() - 1]).map_err(|m| parser.err(m))?;
+                let leaf = full.last().expect("key paths are non-empty");
+                if parent.contains_key(leaf) {
+                    return Err(parser.err(format!("duplicate key `{leaf}`")));
+                }
+                parent.insert(leaf.clone(), value);
+                parser.end_of_line()?;
+            }
+        }
+    }
+    Ok(Item::Table(root).into_value())
+}
+
+/// Walk (creating as needed) to the table at `path`, descending into the
+/// last element of any `[[array-of-tables]]` on the way — standard TOML
+/// header resolution.
+fn navigate<'a>(
+    root: &'a mut BTreeMap<String, Item>,
+    path: &[String],
+) -> Result<&'a mut BTreeMap<String, Item>, String> {
+    let mut table = root;
+    for segment in path {
+        let entry = table
+            .entry(segment.clone())
+            .or_insert_with(|| Item::Table(BTreeMap::new()));
+        table = match entry {
+            Item::Table(t) => t,
+            Item::TableArray(tables) => tables
+                .last_mut()
+                .ok_or_else(|| format!("`[[{segment}]]` has no elements yet"))?,
+            _ => return Err(format!("key `{segment}` is not a table")),
+        };
+    }
+    Ok(table)
+}
+
+/// Maximum value nesting (arrays + inline tables) before parsing fails —
+/// the value parser is recursive, so unbounded nesting would overflow the
+/// stack instead of returning an error.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Current value-nesting depth.
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> TomlError {
+        let line = 1 + self.bytes[..self.pos.min(self.bytes.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count();
+        TomlError {
+            message: message.into(),
+            line,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Skip spaces and tabs (not newlines).
+    fn skip_spaces(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skip whitespace, newlines and comments — between statements and
+    /// inside arrays.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\n' | b'\r') => self.pos += 1,
+                Some(b'#') => {
+                    while !matches!(self.peek(), None | Some(b'\n')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), TomlError> {
+        self.skip_spaces();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{}`{}",
+                b as char,
+                match self.peek() {
+                    Some(found) if found != b'\n' => format!(", found `{}`", found as char),
+                    Some(_) => ", found end of line".into(),
+                    None => ", found end of input".into(),
+                }
+            )))
+        }
+    }
+
+    /// A statement must end here: optional spaces, optional comment, then
+    /// newline or EOF.
+    fn end_of_line(&mut self) -> Result<(), TomlError> {
+        self.skip_spaces();
+        if self.peek() == Some(b'#') {
+            while !matches!(self.peek(), None | Some(b'\n')) {
+                self.pos += 1;
+            }
+        }
+        match self.peek() {
+            None => Ok(()),
+            Some(b'\n') => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(b'\r') if self.bytes.get(self.pos + 1) == Some(&b'\n') => {
+                self.pos += 2;
+                Ok(())
+            }
+            Some(other) => {
+                Err(self.err(format!("expected end of line, found `{}`", other as char)))
+            }
+        }
+    }
+
+    /// A dotted key path: `a.b."quoted c"`.
+    fn key_path(&mut self) -> Result<Vec<String>, TomlError> {
+        let mut path = Vec::new();
+        loop {
+            self.skip_spaces();
+            path.push(self.key_segment()?);
+            self.skip_spaces();
+            if self.peek() == Some(b'.') {
+                self.pos += 1;
+            } else {
+                return Ok(path);
+            }
+        }
+    }
+
+    fn key_segment(&mut self) -> Result<String, TomlError> {
+        match self.peek() {
+            Some(b'"') => self.basic_string(),
+            Some(b'\'') => self.literal_string(),
+            Some(c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'-')
+                {
+                    self.pos += 1;
+                }
+                Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("ASCII checked")
+                    .to_string())
+            }
+            _ => Err(self.err("expected a key")),
+        }
+    }
+
+    fn value(&mut self) -> Result<Item, TomlError> {
+        match self.peek() {
+            Some(b'"') => self.basic_string().map(|s| Item::Scalar(Value::String(s))),
+            Some(b'\'') => self
+                .literal_string()
+                .map(|s| Item::Scalar(Value::String(s))),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.inline_table(),
+            Some(b't') | Some(b'f') => {
+                for (word, val) in [("true", true), ("false", false)] {
+                    if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                        self.pos += word.len();
+                        return Ok(Item::Scalar(Value::Bool(val)));
+                    }
+                }
+                Err(self.err("invalid literal, expected `true` or `false`"))
+            }
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.') => self.number(),
+            Some(other) => Err(self.err(format!("expected a value, found `{}`", other as char))),
+            None => Err(self.err("expected a value, found end of input")),
+        }
+    }
+
+    /// Enter one level of value nesting, or fail at the limit.
+    fn descend(&mut self) -> Result<(), TomlError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!(
+                "recursion limit exceeded ({MAX_DEPTH} nested values)"
+            )));
+        }
+        Ok(())
+    }
+
+    fn array(&mut self) -> Result<Item, TomlError> {
+        self.expect(b'[')?;
+        self.descend()?;
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                self.depth -= 1;
+                return Ok(Item::Array(items));
+            }
+            items.push(self.value()?);
+            self.skip_trivia();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Item::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn inline_table(&mut self) -> Result<Item, TomlError> {
+        self.expect(b'{')?;
+        self.descend()?;
+        let mut table = BTreeMap::new();
+        self.skip_spaces();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Item::Table(table));
+        }
+        loop {
+            self.skip_spaces();
+            let path = self.key_path()?;
+            self.expect(b'=')?;
+            self.skip_spaces();
+            let value = self.value()?;
+            let parent = navigate(&mut table, &path[..path.len() - 1]).map_err(|m| self.err(m))?;
+            let leaf = path.last().expect("key paths are non-empty");
+            if parent.contains_key(leaf) {
+                return Err(self.err(format!("duplicate key `{leaf}`")));
+            }
+            parent.insert(leaf.clone(), value);
+            self.skip_spaces();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Item::Table(table));
+                }
+                _ => return Err(self.err("expected `,` or `}` in inline table")),
+            }
+        }
+    }
+
+    fn basic_string(&mut self) -> Result<String, TomlError> {
+        self.pos += 1; // opening quote, checked by the caller
+        if self.bytes[self.pos..].starts_with(b"\"\"") {
+            return Err(self.err("multi-line strings are not supported in manifests"));
+        }
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None | Some(b'\n') => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek();
+                    self.pos += 1;
+                    match escape {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => out.push(self.unicode_escape(4)?),
+                        Some(b'U') => out.push(self.unicode_escape(8)?),
+                        Some(other) => {
+                            return Err(self.err(format!("invalid escape `\\{}`", other as char)))
+                        }
+                        None => return Err(self.err("unterminated escape")),
+                    }
+                }
+                Some(_) => {
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = rest.chars().next().expect("non-empty checked above");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self, digits: usize) -> Result<char, TomlError> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + digits)
+            .ok_or_else(|| self.err("truncated unicode escape"))?;
+        let s = std::str::from_utf8(hex).map_err(|_| self.err("invalid unicode escape"))?;
+        let cp = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid unicode escape"))?;
+        self.pos += digits;
+        char::from_u32(cp).ok_or_else(|| self.err("invalid unicode code point"))
+    }
+
+    fn literal_string(&mut self) -> Result<String, TomlError> {
+        self.pos += 1; // opening quote, checked by the caller
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                None | Some(b'\n') => return Err(self.err("unterminated literal string")),
+                Some(b'\'') => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?
+                        .to_string();
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Item, TomlError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'+' | b'-' | b'.' | b'e' | b'E' | b'_')
+        ) {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII subset");
+        if raw.contains("--") || raw.ends_with('_') || raw.starts_with('_') {
+            return Err(self.err(format!("invalid number `{raw}`")));
+        }
+        let text: String = raw.chars().filter(|&c| c != '_').collect();
+        // Reject the TOML shapes we deliberately do not support, with a
+        // pointed message (dates contain `-` after digits, e.g. 2020-05-27).
+        if text.len() > 4
+            && text[1..].contains('-')
+            && !text[1..].contains('e')
+            && !text[1..].contains('E')
+        {
+            return Err(self.err(format!(
+                "`{text}` looks like a date — dates are not supported in manifests"
+            )));
+        }
+        if !valid_toml_number(&text) {
+            return Err(self.err(format!("invalid number `{text}`")));
+        }
+        let number = if text.contains('.') || text.contains('e') || text.contains('E') {
+            Number::from_f64(
+                text.parse::<f64>()
+                    .map_err(|_| self.err(format!("invalid float `{text}`")))?,
+            )
+        } else if let Ok(u) = text.trim_start_matches('+').parse::<u64>() {
+            Number::from_u64(u)
+        } else {
+            Number::from_i64(
+                text.parse::<i64>()
+                    .map_err(|_| self.err(format!("invalid integer `{text}`")))?,
+            )
+        };
+        Ok(Item::Scalar(Value::Number(number)))
+    }
+}
+
+/// TOML number grammar (post-underscore-stripping): one optional sign, a
+/// no-leading-zero integer part, optional `.digits` fraction, optional
+/// signed exponent.  Rust's `f64::from_str` is more lenient (`.5`, `1.`,
+/// `++4` via sign trimming), so the shape is checked explicitly.
+fn valid_toml_number(text: &str) -> bool {
+    let unsigned = text.strip_prefix(['+', '-']).unwrap_or(text);
+    let (mantissa, exponent) = match unsigned.split_once(['e', 'E']) {
+        Some((m, e)) => (m, Some(e)),
+        None => (unsigned, None),
+    };
+    if let Some(exp) = exponent {
+        let digits = exp.strip_prefix(['+', '-']).unwrap_or(exp);
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return false;
+        }
+    }
+    let (integer, fraction) = match mantissa.split_once('.') {
+        Some((i, f)) => (i, Some(f)),
+        None => (mantissa, None),
+    };
+    if integer.is_empty() || !integer.bytes().all(|b| b.is_ascii_digit()) {
+        return false;
+    }
+    // TOML forbids leading zeros on the integer part (`04`, `0123`).
+    if integer.len() > 1 && integer.starts_with('0') {
+        return false;
+    }
+    match fraction {
+        Some(f) => !f.is_empty() && f.bytes().all(|b| b.is_ascii_digit()),
+        None => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_arrays_and_scalars() {
+        let v = parse(
+            r#"
+# A manifest-shaped document.
+application = "hurricane"
+target_ratio = 10.0
+workers = 4
+strict = false
+
+[defaults]
+tolerance = 0.1
+
+[[fields]]
+name = "CLOUDf"
+dims = [100, 500, 500]
+
+[[fields]]
+name = "PRECIPf"
+dims = [ 100,
+         500, # trailing comment
+         500 ]
+target_ratio = 16.0
+"#,
+        )
+        .unwrap();
+        assert_eq!(
+            v.get("application").and_then(Value::as_str),
+            Some("hurricane")
+        );
+        assert_eq!(v.get("target_ratio").and_then(Value::as_f64), Some(10.0));
+        assert_eq!(v.get("workers").and_then(Value::as_f64), Some(4.0));
+        let fields = match v.get("fields") {
+            Some(Value::Array(a)) => a,
+            other => panic!("fields should be an array, got {other:?}"),
+        };
+        assert_eq!(fields.len(), 2);
+        assert_eq!(
+            fields[1].get("name").and_then(Value::as_str),
+            Some("PRECIPf")
+        );
+        assert_eq!(
+            fields[1].get("dims"),
+            Some(&serde_json::json!([100, 500, 500]))
+        );
+        assert_eq!(
+            v.get("defaults")
+                .and_then(|d| d.get("tolerance"))
+                .and_then(Value::as_f64),
+            Some(0.1)
+        );
+    }
+
+    #[test]
+    fn dotted_keys_and_inline_tables() {
+        let v = parse("a.b = 1\nc = { d = 2, e.f = \"x\" }\n").unwrap();
+        assert_eq!(
+            v.get("a").and_then(|a| a.get("b")).and_then(Value::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            v.get("c").and_then(|c| c.get("d")).and_then(Value::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(
+            v.get("c")
+                .and_then(|c| c.get("e"))
+                .and_then(|e| e.get("f"))
+                .and_then(Value::as_str),
+            Some("x")
+        );
+    }
+
+    #[test]
+    fn strings_escapes_and_literals() {
+        let v = parse(r#"a = "new\nline \u00e9" "#).unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_str), Some("new\nline é"));
+        let v = parse(r"b = 'C:\raw\path*'").unwrap();
+        assert_eq!(v.get("b").and_then(Value::as_str), Some(r"C:\raw\path*"));
+    }
+
+    #[test]
+    fn numbers_with_underscores_and_signs() {
+        let v = parse("a = 1_000\nb = -3\nc = +2.5e2\n").unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_f64), Some(1000.0));
+        assert_eq!(v.get("b").and_then(Value::as_f64), Some(-3.0));
+        assert_eq!(v.get("c").and_then(Value::as_f64), Some(250.0));
+    }
+
+    #[test]
+    fn invalid_number_shapes_are_rejected() {
+        for bad in [
+            "a = ++4\n",
+            "a = .5\n",
+            "a = 1.\n",
+            "a = 04\n",
+            "a = 1e\n",
+            "a = 1.2.3\n",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.to_string().contains("invalid"), "{bad:?}: {err}");
+        }
+        // Exponent leading zeros are legal TOML; plain zero stays valid.
+        assert!(parse("a = 1e07\nb = 0\nc = 0.5\n").is_ok());
+    }
+
+    #[test]
+    fn errors_are_located_and_readable() {
+        let err = parse("a = 1\nb = \n").unwrap_err();
+        assert_eq!(err.line, 2);
+
+        let err = parse("a = 1\na = 2\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate key `a`"), "{err}");
+        assert_eq!(err.line, 2, "duplicate-key errors name the key's own line");
+
+        let err = parse("d = 2020-05-27\n").unwrap_err();
+        assert!(err.to_string().contains("date"), "{err}");
+
+        let err = parse("s = \"\"\"x\"\"\"\n").unwrap_err();
+        assert!(err.to_string().contains("multi-line"), "{err}");
+
+        let err = parse("x = 1 y = 2\n").unwrap_err();
+        assert!(err.to_string().contains("end of line"), "{err}");
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let ok = format!("a = {}0{}\n", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&ok).is_ok());
+        let nested = format!("a = {}\n", "[".repeat(100_000));
+        let err = parse(&nested).unwrap_err();
+        assert!(err.to_string().contains("recursion limit"), "{err}");
+        let tables = format!("a = {}\n", "{ k = ".repeat(100_000));
+        let err = parse(&tables).unwrap_err();
+        assert!(err.to_string().contains("recursion limit"), "{err}");
+    }
+
+    #[test]
+    fn array_of_tables_conflict_is_rejected() {
+        let err = parse("fields = 1\n[[fields]]\n").unwrap_err();
+        assert!(err.to_string().contains("conflicts"), "{err}");
+    }
+}

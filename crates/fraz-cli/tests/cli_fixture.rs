@@ -1,0 +1,205 @@
+//! End-to-end tests for the `fraz` CLI against the committed
+//! `tests/fixtures/mini_app` dataset: TOML and JSON manifests resolve to
+//! the same run, the runner produces sane per-field rows, and the actual
+//! binary smoke-runs with table + JSONL output.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use fraz_cli::runner::{run, RunOverrides};
+use fraz_data::manifest::FieldTarget;
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/mini_app")
+}
+
+#[test]
+fn toml_and_json_manifests_are_equivalent() {
+    let toml = fraz_cli::load_manifest(&fixture_dir().join("manifest.toml")).unwrap();
+    let json = fraz_cli::load_manifest(&fixture_dir().join("manifest.json")).unwrap();
+    assert_eq!(toml, json);
+    assert_eq!(toml.fields.len(), 4);
+}
+
+#[test]
+fn fixture_manifest_resolves_all_series() {
+    let manifest = fraz_cli::load_manifest(&fixture_dir().join("manifest.toml")).unwrap();
+    let resolved = manifest.resolve(&fixture_dir()).unwrap();
+    assert_eq!(resolved.fields.len(), 4);
+    // The glob and the explicit list find the same two time-steps (the
+    // datasets differ only in the field name they were loaded under).
+    assert_eq!(resolved.fields[0].series.len(), 2);
+    assert_eq!(resolved.fields[1].series.len(), 2);
+    for (a, b) in resolved.fields[0]
+        .series
+        .iter()
+        .zip(&resolved.fields[1].series)
+    {
+        assert_eq!(a.buffer, b.buffer);
+        assert_eq!(a.dims, b.dims);
+        assert_eq!(a.timestep, b.timestep);
+    }
+    assert_eq!(resolved.fields[2].series[0].dims.as_slice(), &[48, 48]);
+    assert_eq!(resolved.fields[3].target, FieldTarget::MinPsnr(60.0));
+}
+
+#[test]
+fn runner_produces_per_field_rows_with_metrics() {
+    let manifest = fraz_cli::load_manifest(&fixture_dir().join("manifest.toml")).unwrap();
+    let report = run(
+        &manifest,
+        &fixture_dir(),
+        &RunOverrides {
+            workers: Some(4),
+            compressor: None,
+        },
+    )
+    .unwrap();
+
+    assert_eq!(report.workers, 4);
+    assert_eq!(report.rows.len(), 4);
+    let by_name = |name: &str| {
+        report
+            .rows
+            .iter()
+            .find(|r| r.field == name)
+            .unwrap_or_else(|| panic!("row {name} missing"))
+    };
+
+    // Ratio fields: feasible, near their (per-field) targets, quality
+    // measured on the final pass.
+    for (name, target) in [("temp", 8.0), ("temp_explicit", 6.0), ("pressure", 8.0)] {
+        let row = by_name(name);
+        assert_eq!(row.steps, row.feasible_steps, "{name} missed its target");
+        let deviation = (row.ratio - target).abs() / target;
+        assert!(
+            deviation <= 0.15 + 0.02,
+            "{name}: mean ratio {} too far from {target}",
+            row.ratio
+        );
+        assert!(row.psnr.unwrap_or(0.0) > 10.0, "{name}: no plausible PSNR");
+        assert!(row.evaluations >= 1);
+        assert!(row.error_bound > 0.0);
+    }
+    // The two-step series reused the first step's bound (≤ 2 retrains,
+    // and the second run of identical data should predict successfully).
+    assert!(by_name("temp").retrained_steps <= 2);
+
+    // The quality field met its PSNR floor while still compressing.
+    let energy = by_name("energy");
+    assert_eq!(energy.target, "psnr>=60dB");
+    assert_eq!(energy.feasible_steps, 1);
+    assert!(energy.psnr.unwrap() >= 60.0, "psnr {:?}", energy.psnr);
+    assert!(energy.ratio > 1.0, "quality search should still compress");
+
+    // JSONL rows parse back and carry the field names.
+    let lines = report.jsonl_lines();
+    assert_eq!(lines.len(), 4);
+    for line in &lines {
+        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert_eq!(
+            v.get("experiment").and_then(|e| e.as_str()),
+            Some("fraz_cli_run")
+        );
+        assert!(v.get("row").and_then(|r| r.get("field")).is_some());
+    }
+
+    // The table renders one aligned line per field.
+    let table = report.render_table();
+    assert_eq!(table.lines().count(), 2 + 4, "{table}");
+    assert!(table.contains("temp_explicit"), "{table}");
+}
+
+#[test]
+fn compressor_override_and_unknown_compressor_error() {
+    let manifest = fraz_cli::load_manifest(&fixture_dir().join("manifest.json")).unwrap();
+    let report = run(
+        &manifest,
+        &fixture_dir(),
+        &RunOverrides {
+            workers: Some(2),
+            compressor: Some("zfp".to_string()),
+        },
+    )
+    .unwrap();
+    assert!(report.rows.iter().all(|r| r.compressor == "zfp"));
+
+    let err = run(
+        &manifest,
+        &fixture_dir(),
+        &RunOverrides {
+            workers: Some(2),
+            compressor: Some("szz".to_string()),
+        },
+    )
+    .unwrap_err()
+    .to_string();
+    // The registry's did-you-mean suggestion survives to the CLI surface.
+    assert!(err.contains("szz"), "{err}");
+}
+
+#[test]
+fn binary_smoke_run_writes_table_and_jsonl() {
+    let out = std::env::temp_dir().join(format!("fraz_cli_smoke_{}.jsonl", std::process::id()));
+    std::fs::remove_file(&out).ok();
+    let output = Command::new(env!("CARGO_BIN_EXE_fraz"))
+        .args([
+            "run",
+            "--config",
+            fixture_dir().join("manifest.toml").to_str().unwrap(),
+            "--workers",
+            "4",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "stdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(stdout.contains("field"), "{stdout}");
+    assert!(stdout.contains("energy"), "{stdout}");
+
+    let jsonl = std::fs::read_to_string(&out).unwrap();
+    assert_eq!(jsonl.lines().count(), 4, "{jsonl}");
+    for line in jsonl.lines() {
+        serde_json::from_str::<serde_json::Value>(line).unwrap();
+    }
+    std::fs::remove_file(&out).ok();
+
+    // validate exercises resolution without running.
+    let output = Command::new(env!("CARGO_BIN_EXE_fraz"))
+        .args([
+            "validate",
+            "--config",
+            fixture_dir().join("manifest.json").to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("manifest OK"), "{stdout}");
+}
+
+#[test]
+fn malformed_manifest_is_reported_readably() {
+    let dir = std::env::temp_dir().join(format!("fraz_cli_bad_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.toml");
+    std::fs::write(
+        &bad,
+        "application = \"x\"\ntarget_ratio = 8.0\n[[fields]]\nname = \"a\"\ndtype = \"f32\"\ndims = [1, 2, 3, 4, 5]\nfile = \"a.f32\"\n",
+    )
+    .unwrap();
+    let output = Command::new(env!("CARGO_BIN_EXE_fraz"))
+        .args(["run", "--config", bad.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("1 to 4 axes"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}

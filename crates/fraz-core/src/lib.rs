@@ -56,7 +56,9 @@ pub mod search;
 pub use loss::RatioLoss;
 pub use online::{OnlineController, OnlineControllerConfig, OnlineStepReport};
 pub use optim::{binary_search, grid_search, GlobalMinimizer, OptimizerConfig, SearchTrace};
-pub use orchestrator::{ApplicationOutcome, Orchestrator, OrchestratorConfig, SeriesOutcome};
+pub use orchestrator::{
+    ApplicationOutcome, FieldTask, Orchestrator, OrchestratorConfig, SeriesOutcome,
+};
 pub use quality::{FixedQualitySearch, QualityMetric, QualitySearchConfig, QualitySearchOutcome};
 pub use regions::{make_error_bounds, BoundScale, Region};
 pub use search::{FixedRatioSearch, RegionOutcome, SearchConfig, SearchOutcome};

@@ -162,6 +162,42 @@ impl OrchestratorConfig {
     }
 }
 
+/// One field's worth of work for [`Orchestrator::run_tasks`]: a named time
+/// series plus an optional per-field search override.
+///
+/// The CLI builds these from dataset manifests, where individual fields may
+/// override the application-wide target ratio; plain
+/// [`Orchestrator::run_application`] is the no-override special case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldTask {
+    /// Field name, reported in the [`SeriesOutcome`].
+    pub field: String,
+    /// The field's datasets in time order.
+    pub series: Vec<Dataset>,
+    /// Per-field search settings; `None` uses the orchestrator's
+    /// configured [`SearchConfig`].  The `threads` knob is overwritten by
+    /// the orchestrator's schedule either way — region concurrency is a
+    /// whole-run budget decision, not a per-field one.
+    pub search: Option<SearchConfig>,
+}
+
+impl FieldTask {
+    /// A task using the orchestrator's default search settings.
+    pub fn new(field: impl Into<String>, series: Vec<Dataset>) -> Self {
+        Self {
+            field: field.into(),
+            series,
+            search: None,
+        }
+    }
+
+    /// Builder-style per-field search override.
+    pub fn with_search(mut self, search: SearchConfig) -> Self {
+        self.search = Some(search);
+        self
+    }
+}
+
 /// The parallel orchestrator for one compressor backend.
 ///
 /// Holds a shared `Arc<dyn Compressor>` handle (`Compressor` is `Send +
@@ -245,10 +281,10 @@ impl Orchestrator {
         self.compressor.as_ref()
     }
 
-    fn make_search(&self, threads: usize) -> FixedRatioSearch {
+    fn make_search(&self, search: Option<&SearchConfig>, threads: usize) -> FixedRatioSearch {
         let search_config = SearchConfig {
             threads,
-            ..self.config.search.clone()
+            ..search.unwrap_or(&self.config.search).clone()
         };
         FixedRatioSearch::new(Arc::clone(&self.compressor), search_config)
             .with_pool(Arc::clone(self.pool()))
@@ -258,8 +294,20 @@ impl Orchestrator {
     /// step's error bound as a prediction (Algorithm 1 applied over time,
     /// §V-C).
     pub fn run_series(&self, field: &str, series: &[Dataset], threads: usize) -> SeriesOutcome {
+        self.run_series_config(field, series, None, threads)
+    }
+
+    /// [`Orchestrator::run_series`] with an optional per-field search
+    /// override (the orchestrator's config when `None`).
+    pub fn run_series_config(
+        &self,
+        field: &str,
+        series: &[Dataset],
+        search: Option<&SearchConfig>,
+        threads: usize,
+    ) -> SeriesOutcome {
         let start = Instant::now();
-        let search = self.make_search(threads);
+        let search = self.make_search(search, threads);
         let mut steps = Vec::with_capacity(series.len());
         let mut retrain_steps = Vec::new();
         let mut prediction: Option<f64> = None;
@@ -300,18 +348,39 @@ impl Orchestrator {
     /// its workers steal region tasks from the fields still running,
     /// instead of idling behind a static fields × regions split.
     pub fn run_application(&self, fields: &[(String, Vec<Dataset>)]) -> ApplicationOutcome {
+        let jobs: Vec<(&str, &[Dataset], Option<&SearchConfig>)> = fields
+            .iter()
+            .map(|(name, series)| (name.as_str(), series.as_slice(), None))
+            .collect();
+        self.run_jobs(&jobs)
+    }
+
+    /// [`Orchestrator::run_application`] with per-field search overrides:
+    /// every task still runs on the one shared pool, but a task may bring
+    /// its own target ratio / tolerance / region layout (a manifest's
+    /// per-field `target_ratio`, for example).
+    pub fn run_tasks(&self, tasks: &[FieldTask]) -> ApplicationOutcome {
+        let jobs: Vec<(&str, &[Dataset], Option<&SearchConfig>)> = tasks
+            .iter()
+            .map(|t| (t.field.as_str(), t.series.as_slice(), t.search.as_ref()))
+            .collect();
+        self.run_jobs(&jobs)
+    }
+
+    fn run_jobs(&self, jobs: &[(&str, &[Dataset], Option<&SearchConfig>)]) -> ApplicationOutcome {
         let start = Instant::now();
         // Schedule and report against the pool that will actually run the
         // tasks — with_pool may have installed a budget different from
         // this config's total_workers.
         let pool_threads = self.pool().threads();
-        let (_, threads_per_search) = self.config.schedule_for(pool_threads, fields.len());
-        let mut results: Vec<Option<SeriesOutcome>> = vec![None; fields.len()];
+        let (_, threads_per_search) = self.config.schedule_for(pool_threads, jobs.len());
+        let mut results: Vec<Option<SeriesOutcome>> = vec![None; jobs.len()];
 
         self.pool().scope(|scope| {
-            for (slot, (name, series)) in results.iter_mut().zip(fields) {
-                scope
-                    .spawn(move || *slot = Some(self.run_series(name, series, threads_per_search)));
+            for (slot, (name, series, search)) in results.iter_mut().zip(jobs) {
+                scope.spawn(move || {
+                    *slot = Some(self.run_series_config(name, series, *search, threads_per_search))
+                });
             }
         });
 
@@ -414,6 +483,40 @@ mod tests {
         }
         assert!(outcome.longest_field_time() <= outcome.elapsed + Duration::from_millis(50));
         assert_eq!(outcome.total_workers, 8);
+    }
+
+    #[test]
+    fn run_tasks_honours_per_field_search_overrides() {
+        let orch = Orchestrator::new(
+            "sz",
+            OrchestratorConfig {
+                total_workers: 4,
+                ..OrchestratorConfig::new(quick_search(6.0))
+            },
+        )
+        .unwrap();
+        let tasks = vec![
+            FieldTask::new("TCf", hurricane_series("TCf", 2)),
+            FieldTask::new("Pf", hurricane_series("Pf", 2)).with_search(quick_search(12.0)),
+        ];
+        let outcome = orch.run_tasks(&tasks);
+        assert_eq!(outcome.fields.len(), 2);
+        for (series, target) in outcome.fields.iter().zip([6.0, 12.0]) {
+            for step in &series.steps {
+                assert!(
+                    step.feasible,
+                    "{}: target {target} infeasible at ratio {}",
+                    series.field, step.best.compression_ratio
+                );
+                let deviation = (step.best.compression_ratio - target).abs() / target;
+                assert!(
+                    deviation <= 0.15 + 1e-9,
+                    "{}: ratio {} is not within 15% of {target}",
+                    series.field,
+                    step.best.compression_ratio
+                );
+            }
+        }
     }
 
     #[test]

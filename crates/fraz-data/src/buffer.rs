@@ -3,13 +3,32 @@
 use serde::{Deserialize, Serialize};
 
 /// Element type of a [`DataBuffer`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub enum DType {
     /// IEEE-754 single precision (the storage type of every SDRBench field
     /// used in the paper).
     F32,
     /// IEEE-754 double precision.
     F64,
+}
+
+/// Hand-written (rather than derived) so that manifest files can spell the
+/// type the way SDRBench file extensions do (`"f32"`/`"f64"`) as well as
+/// the variant name the derived `Serialize` emits (`"F32"`/`"F64"`).
+impl Deserialize for DType {
+    fn from_json_value(value: &serde::value::Value) -> Result<Self, serde::de::Error> {
+        match value.as_str() {
+            Some("f32") | Some("F32") => Ok(DType::F32),
+            Some("f64") | Some("F64") => Ok(DType::F64),
+            Some(other) => Err(serde::de::Error::new(format!(
+                "unknown dtype `{other}`, expected \"f32\" or \"f64\""
+            ))),
+            None => Err(serde::de::invalid_type(
+                "a dtype string (\"f32\"/\"f64\")",
+                value,
+            )),
+        }
+    }
 }
 
 impl DType {

@@ -16,12 +16,16 @@
 //!   coherence.  These are the workloads used by the experiment
 //!   reproductions; DESIGN.md documents why the substitution preserves the
 //!   behaviour FRaZ exercises,
-//! * [`catalog`] — Table-III-style descriptors of the synthetic applications.
+//! * [`catalog`] — Table-III-style descriptors of the synthetic applications,
+//! * [`manifest`] — declarative dataset manifests (field name, file, dtype,
+//!   dims, target) that let the `fraz` CLI run FRaZ over a directory of real
+//!   archive files without any Rust code.
 
 pub mod buffer;
 pub mod catalog;
 pub mod dims;
 pub mod io;
+pub mod manifest;
 pub mod synthetic;
 
 use std::fmt;

@@ -23,6 +23,11 @@
 //! The environment has no crates.io access, so everything here is built on
 //! `std::sync` primitives only — no crossbeam deques, no rayon.
 //!
+//! Users of the pool: `FixedRatioSearch` (region tasks), the
+//! `Orchestrator` (field tasks nesting region tasks), and the `fraz` CLI
+//! (quality-search tasks side by side with a whole ratio application on
+//! one budget) — see ARCHITECTURE.md's threading notes for the full map.
+//!
 //! # Example
 //!
 //! Scopes may borrow from the enclosing stack frame, exactly like

@@ -1,0 +1,304 @@
+//! Deserialization support: reconstructing Rust values from the JSON
+//! [`Value`] model.
+//!
+//! The mirror image of [`crate::Serialize`]: a [`crate::Deserialize`] type
+//! rebuilds itself from a [`Value`] tree (produced by `serde_json`'s text
+//! parser or built programmatically).  Errors carry a dotted/indexed path
+//! (`fields[2].dims[1]: …`) so a malformed config file names the exact
+//! offending entry instead of failing wholesale.
+//!
+//! The free functions in this module ([`object`], [`field`],
+//! [`deny_unknown`], …) are the building blocks the derived impls call;
+//! they are equally usable from hand-written impls (see `DType` in
+//! `fraz-data` for an example that accepts spelling variants).
+//!
+//! Two deliberate differences from real serde, documented here because they
+//! are load-bearing for the workspace's config files:
+//!
+//! * derived struct impls **reject unknown fields** (real serde ignores
+//!   them unless `#[serde(deny_unknown_fields)]` is given) — a typo in a
+//!   manifest should be an error, not a silently ignored knob,
+//! * integer targets accept integral floats (`workers = 4.0` works), since
+//!   hand-written TOML/JSON configs mix the two freely.
+
+use std::fmt;
+
+use crate::value::{Map, Number, Value};
+use crate::Deserialize;
+
+/// A deserialization failure: a message plus the path of field names and
+/// array indices leading to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Path segments from the root to the failure, outermost first.  Index
+    /// segments are stored as `[i]` and join without a dot.
+    path: Vec<String>,
+    message: String,
+}
+
+impl Error {
+    /// A new error with the given message and an empty path.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            path: Vec::new(),
+            message: message.into(),
+        }
+    }
+
+    /// Prepend a path segment (a field name) on the way out of a nested
+    /// deserialization call.
+    pub fn in_field(mut self, name: &str) -> Self {
+        self.path.insert(0, name.to_string());
+        self
+    }
+
+    /// Prepend an array-index path segment.
+    pub fn in_index(mut self, index: usize) -> Self {
+        self.path.insert(0, format!("[{index}]"));
+        self
+    }
+
+    /// The bare message, without the path prefix.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The dotted path (`fields[2].dims`), empty at the root.
+    pub fn path(&self) -> String {
+        let mut out = String::new();
+        for seg in &self.path {
+            if !out.is_empty() && !seg.starts_with('[') {
+                out.push('.');
+            }
+            out.push_str(seg);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let path = self.path();
+        if path.is_empty() {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "{path}: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A short human description of a value's type and content, for error
+/// messages ("a string (\"xyz\")", "an array of 3 elements", …).
+pub fn describe(value: &Value) -> String {
+    match value {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => format!("a boolean ({b})"),
+        Value::Number(n) => format!("a number ({n})"),
+        Value::String(s) => {
+            let shown: String = s.chars().take(32).collect();
+            if shown.len() < s.len() {
+                format!("a string ({shown:?}…)")
+            } else {
+                format!("a string ({shown:?})")
+            }
+        }
+        Value::Array(a) => format!("an array of {} elements", a.len()),
+        Value::Object(m) => format!("an object with {} fields", m.len()),
+    }
+}
+
+/// "invalid type: expected X, found Y" — the standard mismatch error.
+pub fn invalid_type(expected: &str, found: &Value) -> Error {
+    Error::new(format!(
+        "invalid type: expected {expected}, found {}",
+        describe(found)
+    ))
+}
+
+/// View `value` as an object, or fail naming the target type.
+pub fn object<'a>(value: &'a Value, ty: &str) -> Result<&'a Map, Error> {
+    match value {
+        Value::Object(map) => Ok(map),
+        other => Err(invalid_type(&format!("an object ({ty})"), other)),
+    }
+}
+
+/// View `value` as an array.
+pub fn array<'a>(value: &'a Value, ty: &str) -> Result<&'a [Value], Error> {
+    match value {
+        Value::Array(items) => Ok(items),
+        other => Err(invalid_type(&format!("an array ({ty})"), other)),
+    }
+}
+
+/// View `value` as an array of exactly `len` elements (tuple shapes).
+pub fn fixed_array<'a>(value: &'a Value, ty: &str, len: usize) -> Result<&'a [Value], Error> {
+    let items = array(value, ty)?;
+    if items.len() != len {
+        return Err(Error::new(format!(
+            "expected an array of {len} elements for {ty}, found {} elements",
+            items.len()
+        )));
+    }
+    Ok(items)
+}
+
+/// Deserialize element `index` of a tuple-shaped array, with index context.
+pub fn element<T: Deserialize>(items: &[Value], index: usize) -> Result<T, Error> {
+    T::from_json_value(&items[index]).map_err(|e| e.in_index(index))
+}
+
+/// Fail if `map` holds a key not present in `known` — the readable
+/// "unknown field" error for config typos.
+pub fn deny_unknown(map: &Map, ty: &str, known: &[&str]) -> Result<(), Error> {
+    for (key, _) in map.iter() {
+        if !known.contains(&key.as_str()) {
+            let mut expected: Vec<String> = known.iter().map(|k| format!("`{k}`")).collect();
+            expected.sort();
+            return Err(Error::new(format!(
+                "unknown field `{key}` in {ty}, expected one of {}",
+                expected.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize one named struct field.  A missing key is an error unless
+/// the target type tolerates absence (`Option<T>` becomes `None`).
+pub fn field<T: Deserialize>(map: &Map, ty: &str, name: &str) -> Result<T, Error> {
+    match map.get(name) {
+        Some(value) => T::from_json_value(value).map_err(|e| e.in_field(name)),
+        None => T::absent().ok_or_else(|| Error::new(format!("missing field `{name}` in {ty}"))),
+    }
+}
+
+/// Split an externally-tagged enum value (`{"Variant": payload}`) into its
+/// tag and payload.
+pub fn variant<'a>(value: &'a Value, ty: &str) -> Result<(&'a str, &'a Value), Error> {
+    let map = match value {
+        Value::Object(map) => map,
+        other => {
+            return Err(invalid_type(
+                &format!("a {ty} variant (a string or a single-key object)"),
+                other,
+            ))
+        }
+    };
+    let mut entries = map.iter();
+    match (entries.next(), entries.next()) {
+        (Some((tag, payload)), None) => Ok((tag.as_str(), payload)),
+        _ => Err(Error::new(format!(
+            "expected an object with exactly one key (a {ty} variant), found {} keys",
+            map.len()
+        ))),
+    }
+}
+
+/// The "unknown variant" error for enums.
+pub fn unknown_variant(ty: &str, found: &str, expected: &[&str]) -> Error {
+    let names: Vec<String> = expected.iter().map(|v| format!("`{v}`")).collect();
+    Error::new(format!(
+        "unknown variant `{found}` of {ty}, expected one of {}",
+        names.join(", ")
+    ))
+}
+
+fn number(value: &Value, expected: &str) -> Result<Number, Error> {
+    match value {
+        Value::Number(n) => Ok(*n),
+        other => Err(invalid_type(expected, other)),
+    }
+}
+
+/// Shared u64 extraction: unsigned integers, plus integral non-negative
+/// floats (TOML/JSON configs mix `4` and `4.0` freely).
+pub(crate) fn as_u64(value: &Value, expected: &str) -> Result<u64, Error> {
+    match number(value, expected)? {
+        Number::PosInt(v) => Ok(v),
+        Number::NegInt(v) => Err(Error::new(format!(
+            "invalid value: expected {expected}, found the negative number {v}"
+        ))),
+        // The upper bound is exclusive: `u64::MAX as f64` rounds *up* to
+        // 2^64, so an inclusive check would let 2^64 saturate to
+        // `u64::MAX` silently instead of erroring.
+        Number::Float(f) if f.fract() == 0.0 && (0.0..u64::MAX as f64).contains(&f) => Ok(f as u64),
+        Number::Float(f) => Err(Error::new(format!(
+            "invalid value: expected {expected}, found the non-integral or out-of-range number {f}"
+        ))),
+    }
+}
+
+/// Shared i64 extraction (same float tolerance as [`as_u64`]).
+pub(crate) fn as_i64(value: &Value, expected: &str) -> Result<i64, Error> {
+    match number(value, expected)? {
+        Number::PosInt(v) => {
+            i64::try_from(v).map_err(|_| Error::new(format!("number {v} overflows {expected}")))
+        }
+        Number::NegInt(v) => Ok(v),
+        // Lower bound inclusive (`i64::MIN as f64` is exact), upper bound
+        // exclusive (`i64::MAX as f64` rounds up to 2^63 — see as_u64).
+        Number::Float(f) if f.fract() == 0.0 && (i64::MIN as f64..i64::MAX as f64).contains(&f) => {
+            Ok(f as i64)
+        }
+        Number::Float(f) => Err(Error::new(format!(
+            "invalid value: expected {expected}, found the non-integral or out-of-range number {f}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_paths_render_with_dots_and_indexes() {
+        let e = Error::new("missing field `dims` in FieldSpec")
+            .in_index(2)
+            .in_field("fields");
+        assert_eq!(
+            e.to_string(),
+            "fields[2]: missing field `dims` in FieldSpec"
+        );
+        let e = Error::new("boom").in_field("b").in_index(0).in_field("a");
+        assert_eq!(e.to_string(), "a[0].b: boom");
+        assert_eq!(Error::new("boom").to_string(), "boom");
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        assert_eq!(describe(&Value::Null), "null");
+        assert!(describe(&Value::Bool(true)).contains("boolean"));
+        assert!(describe(&Value::String("x".into())).contains("\"x\""));
+        assert!(describe(&Value::Array(vec![Value::Null])).contains("1 elements"));
+    }
+
+    #[test]
+    fn integer_float_boundaries_error_instead_of_saturating() {
+        // 2^64 and 2^63 are exactly what `u64::MAX as f64` / `i64::MAX as
+        // f64` round up to; they must be rejected, not saturated.
+        let two_64 = Value::Number(Number::from_f64((u64::MAX as f64) * 1.0));
+        assert!(as_u64(&two_64, "u64").is_err());
+        let two_63 = Value::Number(Number::from_f64(i64::MAX as f64));
+        assert!(as_i64(&two_63, "i64").is_err());
+        // In-range integral floats still convert.
+        assert_eq!(as_u64(&Value::Number(Number::from_f64(4.0)), "u64"), Ok(4));
+        assert_eq!(
+            as_i64(&Value::Number(Number::from_f64(i64::MIN as f64)), "i64"),
+            Ok(i64::MIN)
+        );
+    }
+
+    #[test]
+    fn unknown_field_message_lists_expected() {
+        let mut map = Map::new();
+        map.insert("blok", Value::Null);
+        let err = deny_unknown(&map, "Config", &["block", "rate"]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown field `blok` in Config"), "{msg}");
+        assert!(msg.contains("`block`"), "{msg}");
+        assert!(msg.contains("`rate`"), "{msg}");
+    }
+}

@@ -6,16 +6,20 @@
 //!
 //! * [`Serialize`] — converts a value into the JSON [`value::Value`] model
 //!   (the only serialization format the workspace emits),
-//! * [`Deserialize`] — a marker trait; no workspace code deserializes yet,
-//!   so derived impls are markers until a real wire format is needed,
+//! * [`Deserialize`] — the mirror image: reconstructs a value from the same
+//!   [`value::Value`] model, with pathed, readable errors ([`de`]),
 //! * `#[derive(Serialize, Deserialize)]` — re-exported from the local
-//!   `serde_derive` proc-macro shim.
+//!   `serde_derive` proc-macro shim, which generates real impls of both
+//!   traits for structs, tuple structs and externally-tagged enums.
 //!
 //! The trait shape is intentionally simpler than real serde (no generic
-//! `Serializer` visitor); swapping the real crates back in only requires
-//! restoring the registry dependencies, since all workspace code sticks to
-//! the derive + `serde_json::{json!, to_value, to_string}` surface.
+//! `Serializer`/`Deserializer` visitors; everything routes through the JSON
+//! value model); swapping the real crates back in only requires restoring
+//! the registry dependencies, since all workspace code sticks to the derive
+//! + `serde_json::{json!, to_value, to_string, from_str, from_value}`
+//! surface.
 
+pub mod de;
 pub mod value;
 
 pub use serde_derive::{Deserialize, Serialize};
@@ -28,12 +32,25 @@ pub trait Serialize {
     fn to_json_value(&self) -> Value;
 }
 
-/// Marker for types that could be reconstructed from serialized form.
+/// Types that can be reconstructed from the JSON [`Value`] model.
 ///
-/// The workspace currently has no deserialization call sites; the derive
-/// macro emits an empty impl so `#[derive(Deserialize)]` stays meaningful
-/// as a declaration of intent (and a future upgrade point).
-pub trait Deserialize {}
+/// The inverse of [`Serialize`]: `T::from_json_value(&t.to_json_value())`
+/// round-trips for every derived type.  Errors carry the path to the
+/// offending entry (see [`de::Error`]), which is what makes malformed
+/// config files debuggable.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a JSON value tree.
+    fn from_json_value(value: &Value) -> Result<Self, de::Error>;
+
+    /// The value to use when a struct field is *absent* from its object.
+    ///
+    /// `None` (the default) makes absence an error ("missing field");
+    /// `Option<T>` overrides this to `Some(None)` so optional fields can
+    /// simply be omitted.
+    fn absent() -> Option<Self> {
+        None
+    }
+}
 
 macro_rules! serialize_unsigned {
     ($($t:ty),*) => {$(
@@ -42,7 +59,15 @@ macro_rules! serialize_unsigned {
                 Value::Number(Number::from_u64(*self as u64))
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, de::Error> {
+                let expected = concat!("an unsigned integer (", stringify!($t), ")");
+                let wide = de::as_u64(value, expected)?;
+                <$t>::try_from(wide).map_err(|_| {
+                    de::Error::new(format!("number {wide} overflows {expected}"))
+                })
+            }
+        }
     )*};
 }
 
@@ -53,7 +78,15 @@ macro_rules! serialize_signed {
                 Value::Number(Number::from_i64(*self as i64))
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, de::Error> {
+                let expected = concat!("an integer (", stringify!($t), ")");
+                let wide = de::as_i64(value, expected)?;
+                <$t>::try_from(wide).map_err(|_| {
+                    de::Error::new(format!("number {wide} overflows {expected}"))
+                })
+            }
+        }
     )*};
 }
 
@@ -65,21 +98,39 @@ impl Serialize for f32 {
         Value::Number(Number::from_f64(*self as f64))
     }
 }
-impl Deserialize for f32 {}
+impl Deserialize for f32 {
+    fn from_json_value(value: &Value) -> Result<Self, de::Error> {
+        f64::from_json_value(value).map(|v| v as f32)
+    }
+}
 
 impl Serialize for f64 {
     fn to_json_value(&self) -> Value {
         Value::Number(Number::from_f64(*self))
     }
 }
-impl Deserialize for f64 {}
+impl Deserialize for f64 {
+    fn from_json_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(de::invalid_type("a number", other)),
+        }
+    }
+}
 
 impl Serialize for bool {
     fn to_json_value(&self) -> Value {
         Value::Bool(*self)
     }
 }
-impl Deserialize for bool {}
+impl Deserialize for bool {
+    fn from_json_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::invalid_type("a boolean", other)),
+        }
+    }
+}
 
 impl Serialize for str {
     fn to_json_value(&self) -> Value {
@@ -92,7 +143,14 @@ impl Serialize for String {
         Value::String(self.clone())
     }
 }
-impl Deserialize for String {}
+impl Deserialize for String {
+    fn from_json_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(de::invalid_type("a string", other)),
+        }
+    }
+}
 
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_json_value(&self) -> Value {
@@ -108,14 +166,36 @@ impl<T: Serialize> Serialize for Option<T> {
         }
     }
 }
-impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(value: &Value) -> Result<Self, de::Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+
+    /// An absent field is simply `None` — optional config keys can be
+    /// omitted entirely.
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
+}
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_json_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_json_value).collect())
     }
 }
-impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(value: &Value) -> Result<Self, de::Error> {
+        let items = de::array(value, "Vec")?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| T::from_json_value(v).map_err(|e| e.in_index(i)))
+            .collect()
+    }
+}
 
 impl<T: Serialize> Serialize for [T] {
     fn to_json_value(&self) -> Value {
@@ -138,7 +218,18 @@ impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V>
         Value::Object(map)
     }
 }
-impl<K, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {}
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_json_value(value: &Value) -> Result<Self, de::Error> {
+        let map = de::object(value, "a string-keyed map")?;
+        map.iter()
+            .map(|(k, v)| {
+                V::from_json_value(v)
+                    .map(|v| (k.clone(), v))
+                    .map_err(|e| e.in_field(k))
+            })
+            .collect()
+    }
+}
 
 impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::HashMap<K, V> {
     fn to_json_value(&self) -> Value {
@@ -152,7 +243,18 @@ impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::HashMap<K, V> 
         Value::Object(map)
     }
 }
-impl<K, V: Deserialize> Deserialize for std::collections::HashMap<K, V> {}
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_json_value(value: &Value) -> Result<Self, de::Error> {
+        let map = de::object(value, "a string-keyed map")?;
+        map.iter()
+            .map(|(k, v)| {
+                V::from_json_value(v)
+                    .map(|v| (k.clone(), v))
+                    .map_err(|e| e.in_field(k))
+            })
+            .collect()
+    }
+}
 
 impl Serialize for std::time::Duration {
     /// `{"secs": u64, "nanos": u32}`, matching real serde's representation.
@@ -166,14 +268,26 @@ impl Serialize for std::time::Duration {
         Value::Object(map)
     }
 }
-impl Deserialize for std::time::Duration {}
+impl Deserialize for std::time::Duration {
+    fn from_json_value(value: &Value) -> Result<Self, de::Error> {
+        let map = de::object(value, "Duration")?;
+        de::deny_unknown(map, "Duration", &["secs", "nanos"])?;
+        let secs: u64 = de::field(map, "Duration", "secs")?;
+        let nanos: u32 = de::field(map, "Duration", "nanos")?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
 
 impl Serialize for Value {
     fn to_json_value(&self) -> Value {
         self.clone()
     }
 }
-impl Deserialize for Value {}
+impl Deserialize for Value {
+    fn from_json_value(value: &Value) -> Result<Self, de::Error> {
+        Ok(value.clone())
+    }
+}
 
 macro_rules! serialize_tuple {
     ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(

@@ -2,7 +2,10 @@
 //!
 //! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` by parsing
 //! the item token stream directly with `proc_macro` (no `syn`/`quote`,
-//! which are unavailable without a registry). Supports exactly the item
+//! which are unavailable without a registry). Both derives generate real
+//! working impls — `Serialize` builds the externally-tagged JSON value and
+//! `Deserialize` rebuilds the item from it (strict about unknown fields,
+//! lenient about absent `Option` fields). Supports exactly the item
 //! shapes present in this workspace:
 //!
 //! * structs with named fields,
@@ -270,21 +273,154 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .unwrap()
 }
 
-/// `#[derive(Deserialize)]` — emits the marker impl (see the `serde` shim's
-/// docs: the workspace has no deserialization call sites yet).
+/// `#[derive(Deserialize)]` — emits an `impl serde::Deserialize` that
+/// rebuilds the value from the externally-tagged JSON representation
+/// produced by the matching `#[derive(Serialize)]`.
+///
+/// Generated struct impls **reject unknown fields** with a readable error
+/// naming the field and the expected set (the behaviour config files
+/// want); optional fields (`Option<T>`) may be absent.  Enums accept a
+/// bare string for unit variants and a single-key object for payload
+/// variants.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = match parse_item(input) {
         Ok(item) => item,
         Err(msg) => return compile_error(&msg),
     };
-    let name = match &item {
-        Item::Struct { name, .. }
-        | Item::TupleStruct { name, .. }
-        | Item::UnitStruct { name }
-        | Item::Enum { name, .. } => name.clone(),
+
+    // Common body for a named-fields shape (struct or struct variant):
+    // check unknown keys, then build the literal field by field.  Types are
+    // never named — `serde::de::field`'s return type is fixed by inference
+    // from the struct literal.
+    fn named_fields_body(constructor: &str, ty: &str, fields: &[String]) -> String {
+        let known: Vec<String> = fields.iter().map(|f| format!("{f:?}")).collect();
+        let mut body = format!(
+            "serde::de::deny_unknown(map, {ty:?}, &[{}])?;\n",
+            known.join(", ")
+        );
+        body.push_str(&format!("Ok({constructor} {{\n"));
+        for f in fields {
+            body.push_str(&format!("{f}: serde::de::field(map, {ty:?}, {f:?})?,\n"));
+        }
+        body.push_str("})");
+        body
+    }
+
+    let (name, body) = match &item {
+        Item::Struct { name, fields } => {
+            let body = format!(
+                "let map = serde::de::object(value, {name:?})?;\n{}",
+                named_fields_body(name, name, fields)
+            );
+            (name.clone(), body)
+        }
+        // Newtypes are transparent, mirroring Serialize.
+        Item::TupleStruct { name, arity: 1 } => (
+            name.clone(),
+            format!("Ok({name}(serde::Deserialize::from_json_value(value)?))"),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::de::element(items, {i})?"))
+                .collect();
+            (
+                name.clone(),
+                format!(
+                    "let items = serde::de::fixed_array(value, {name:?}, {arity})?;\n\
+                     Ok({name}({}))",
+                    items.join(", ")
+                ),
+            )
+        }
+        Item::UnitStruct { name } => (
+            name.clone(),
+            format!(
+                "match value {{\n\
+                 serde::value::Value::Null => Ok({name}),\n\
+                 other => Err(serde::de::invalid_type(\"null\", other)),\n\
+                 }}"
+            ),
+        ),
+        Item::Enum { name, variants } => {
+            let variant_names: Vec<String> = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn) | Variant::Tuple(vn, _) | Variant::Struct(vn, _) => {
+                        format!("{vn:?}")
+                    }
+                })
+                .collect();
+            let mut body = format!(
+                "const VARIANTS: &[&str] = &[{}];\n",
+                variant_names.join(", ")
+            );
+            // Unit variants arrive as bare strings.
+            body.push_str(
+                "if let serde::value::Value::String(tag) = value {\nreturn match tag.as_str() {\n",
+            );
+            for v in variants {
+                if let Variant::Unit(vn) = v {
+                    body.push_str(&format!("{vn:?} => Ok({name}::{vn}),\n"));
+                }
+            }
+            body.push_str(&format!(
+                "other => Err(serde::de::unknown_variant({name:?}, other, VARIANTS)),\n}};\n}}\n"
+            ));
+            // Payload variants arrive as {\"Variant\": payload}.
+            body.push_str(&format!(
+                "let (tag, _payload) = serde::de::variant(value, {name:?})?;\n\
+                 match tag {{\n"
+            ));
+            for v in variants {
+                match v {
+                    Variant::Unit(_) => {}
+                    Variant::Tuple(vn, 1) => {
+                        let ty = format!("{name}::{vn}");
+                        body.push_str(&format!(
+                            "{vn:?} => Ok({name}::{vn}(\
+                             serde::Deserialize::from_json_value(_payload)\
+                             .map_err(|e| e.in_field({ty:?}))?)),\n"
+                        ));
+                    }
+                    Variant::Tuple(vn, arity) => {
+                        let ty = format!("{name}::{vn}");
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| format!("serde::de::element(items, {i})?"))
+                            .collect();
+                        body.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             let items = serde::de::fixed_array(_payload, {ty:?}, {arity})?;\n\
+                             Ok({name}::{vn}({}))\n\
+                             }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let ty = format!("{name}::{vn}");
+                        body.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             let map = serde::de::object(_payload, {ty:?})?;\n\
+                             {}\n\
+                             }}\n",
+                            named_fields_body(&format!("{name}::{vn}"), &ty, fields)
+                        ));
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "other => Err(serde::de::unknown_variant({name:?}, other, VARIANTS)),\n}}"
+            ));
+            (name.clone(), body)
+        }
     };
-    format!("impl serde::Deserialize for {name} {{}}")
-        .parse()
-        .unwrap()
+
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_json_value(value: &serde::value::Value) \
+         -> Result<Self, serde::de::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
 }

@@ -1,19 +1,25 @@
 //! Offline stand-in for `serde_json`, over the vendored `serde` shim.
 //!
-//! Provides exactly what the workspace calls: [`Value`], [`to_value`],
-//! [`to_string`], and the [`json!`] literal macro (a tt-muncher in the same
-//! style as the real crate's). Output is compact single-line JSON, suitable
-//! for the `.jsonl` experiment records.
+//! Provides exactly what the workspace calls: [`Value`], [`to_value`] /
+//! [`to_string`] on the way out, [`from_str`] / [`from_value`] on the way
+//! in (a full JSON text parser lives in [`parse`]), and the [`json!`]
+//! literal macro (a tt-muncher in the same style as the real crate's).
+//! Output is compact single-line JSON, suitable for the `.jsonl`
+//! experiment records; input is any RFC 8259 document, suitable for the
+//! CLI's dataset manifests.
+
+pub mod parse;
 
 pub use serde::value::{Map, Number, Value};
 
 use std::fmt;
 
-/// Serialization error.
+/// Serialization or deserialization error.
 ///
-/// The shim's [`serde::Serialize`] is infallible, so this is never actually
-/// produced; it exists to keep the `Result`-shaped call sites identical to
-/// real serde_json.
+/// The shim's [`serde::Serialize`] is infallible, so serialization never
+/// produces this; deserialization errors wrap either a syntax error from
+/// the [`parse`] module (with line/column) or a pathed [`serde::de::Error`]
+/// (e.g. `fields[2].dims: invalid type: …`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error(String);
 
@@ -25,6 +31,18 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+impl From<parse::ParseError> for Error {
+    fn from(e: parse::ParseError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
 /// Convert any [`serde::Serialize`] value into a [`Value`] tree.
 pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
     Ok(value.to_json_value())
@@ -33,6 +51,24 @@ pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
 /// Render any [`serde::Serialize`] value as compact JSON text.
 pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(value.to_json_value().to_string())
+}
+
+/// Parse JSON text into any [`serde::Deserialize`] type.
+///
+/// ```
+/// let values: Vec<u32> = serde_json::from_str("[1, 2, 3]").unwrap();
+/// assert_eq!(values, vec![1, 2, 3]);
+/// let v: serde_json::Value = serde_json::from_str(r#"{"ratio": 10.0}"#).unwrap();
+/// assert_eq!(v.get("ratio").and_then(|r| r.as_f64()), Some(10.0));
+/// ```
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    let value = parse::parse(input)?;
+    Ok(T::from_json_value(&value)?)
+}
+
+/// Reconstruct any [`serde::Deserialize`] type from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    Ok(T::from_json_value(&value)?)
 }
 
 /// Build a [`Value`] from a JSON literal.

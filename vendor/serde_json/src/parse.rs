@@ -1,0 +1,441 @@
+//! A recursive-descent JSON text parser producing the shared [`Value`]
+//! model.
+//!
+//! Implements the full JSON grammar (RFC 8259): all escape sequences
+//! including `\uXXXX` surrogate pairs, nested arrays/objects, and the three
+//! number shapes of [`Number`] (unsigned, signed, float — integers
+//! round-trip without a float detour, exactly as the serializer emits
+//! them).  Errors carry the 1-based line and column of the offending byte,
+//! so a syntax error in a hand-written config names its location.
+
+use serde::value::{Map, Number, Value};
+
+/// A syntax error at a position in the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line of the error.
+    pub line: usize,
+    /// 1-based column (in bytes) of the error.
+    pub column: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at line {} column {}",
+            self.message, self.line, self.column
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Maximum container nesting before parsing fails (matches real
+/// serde_json's default recursion limit: the parser is recursive, so
+/// unbounded nesting would overflow the stack instead of erroring).
+const MAX_DEPTH: usize = 128;
+
+/// Parse a complete JSON document (one value plus optional whitespace).
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after the JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Current container nesting (arrays + objects).
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (mut line, mut column) = (1usize, 1usize);
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
+        ParseError {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected `{}`{}",
+                b as char,
+                match self.peek() {
+                    Some(found) => format!(", found `{}`", found as char),
+                    None => ", found end of input".to_string(),
+                }
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("invalid literal, expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => {
+                Err(self.error(format!("expected a JSON value, found `{}`", other as char)))
+            }
+            None => Err(self.error("expected a JSON value, found end of input")),
+        }
+    }
+
+    /// Enter one level of container nesting, or fail at the limit.
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error(format!(
+                "recursion limit exceeded ({MAX_DEPTH} nested containers)"
+            )));
+        }
+        Ok(())
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        self.descend()?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        self.descend()?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pair: a high surrogate must be
+                            // followed by `\uXXXX` with a low surrogate.
+                            let c = if (0xD800..=0xDBFF).contains(&cp) {
+                                if self.peek() == Some(b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(self.error("invalid low surrogate"));
+                                    }
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| self.error("invalid surrogate pair"))?
+                                } else {
+                                    return Err(self.error("unpaired high surrogate"));
+                                }
+                            } else if (0xDC00..=0xDFFF).contains(&cp) {
+                                return Err(self.error("unpaired low surrogate"));
+                            } else {
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.error("invalid unicode escape"))?
+                            };
+                            out.push(c);
+                            // hex4 advanced past the digits already.
+                            continue;
+                        }
+                        Some(other) => {
+                            return Err(self.error(format!("invalid escape `\\{}`", other as char)))
+                        }
+                        None => return Err(self.error("unterminated escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.error("unescaped control character in string"))
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so boundaries
+                    // are valid; find the char at this byte offset).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().expect("non-empty checked above");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Four hex digits of a `\u` escape; advances past them.
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let digits = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.error("truncated unicode escape"))?;
+        let s = std::str::from_utf8(digits).map_err(|_| self.error("invalid unicode escape"))?;
+        let cp =
+            u32::from_str_radix(s, 16).map_err(|_| self.error("invalid unicode escape digits"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` or a non-zero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("invalid number")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected digits after the decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected digits in the exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        let number = if is_float {
+            Number::from_f64(
+                text.parse::<f64>()
+                    .map_err(|e| self.error(format!("invalid number: {e}")))?,
+            )
+        } else if let Some(digits) = text.strip_prefix('-') {
+            match digits.parse::<u64>() {
+                // Negative integers that fit i64 keep the integer shape;
+                // anything wider falls back to a float, like serde_json's
+                // arbitrary-precision-off behaviour.
+                Ok(v) if v <= i64::MAX as u64 + 1 => {
+                    Number::from_i64((v as i128 as i64).wrapping_neg())
+                }
+                _ => Number::from_f64(
+                    text.parse::<f64>()
+                        .map_err(|e| self.error(format!("invalid number: {e}")))?,
+                ),
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(v) => Number::from_u64(v),
+                Err(_) => Number::from_f64(
+                    text.parse::<f64>()
+                        .map_err(|e| self.error(format!("invalid number: {e}")))?,
+                ),
+            }
+        };
+        Ok(Value::Number(number))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_value_shapes() {
+        let v = parse(
+            r#"{"s": "a\n\"b\u00e9", "n": -3, "f": 2.5e2, "b": true, "x": null,
+                "arr": [1, [2], {"k": 3}], "o": {}}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("a\n\"b\u{e9}"));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(-3.0));
+        assert_eq!(v.get("f").and_then(Value::as_f64), Some(250.0));
+        assert_eq!(v.get("b"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("x"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn integers_keep_integer_shape() {
+        assert_eq!(
+            parse("18446744073709551615").unwrap(),
+            Value::Number(Number::PosInt(u64::MAX))
+        );
+        assert_eq!(
+            parse("-9223372036854775808").unwrap(),
+            Value::Number(Number::NegInt(i64::MIN))
+        );
+        assert_eq!(parse("0").unwrap(), Value::Number(Number::PosInt(0)));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(
+            parse(r#""\ud83d\ude00""#).unwrap(),
+            Value::String("😀".to_string())
+        );
+        assert!(parse(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let err = parse("{\"a\": 1,\n  \"b\": }").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.column > 1);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Within the limit: fine.
+        let ok = format!("{}0{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&ok).is_ok());
+        // Far past it: a readable error, not a stack overflow.
+        let nested = "[".repeat(100_000);
+        let err = parse(&nested).unwrap_err();
+        assert!(err.message.contains("recursion limit"), "{err}");
+        let objects = "{\"k\":".repeat(100_000);
+        let err = parse(&objects).unwrap_err();
+        assert!(err.message.contains("recursion limit"), "{err}");
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "nul",
+            "01",
+            "1.",
+            "1e",
+            "\"\\q\"",
+            "{\"a\" 1}",
+            "[1] extra",
+            "{'a': 1}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+}

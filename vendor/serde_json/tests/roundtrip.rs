@@ -1,0 +1,232 @@
+//! Round-trip property tests for the JSON shim: whatever [`serde::Serialize`]
+//! emits, [`serde_json::from_str`] must read back identically — for raw
+//! [`Value`] trees and for derived structs/enums like the CLI's dataset
+//! manifests.  Plus regression cases for the readable error messages the
+//! manifest loader relies on.
+
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use serde_json::{Map, Number, Value};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------------
+// Strategies: arbitrary JSON value trees of bounded depth.
+
+fn string_strategy() -> impl Strategy<Value = String> {
+    // Alphabet deliberately stresses the escaper: quotes, backslashes,
+    // control characters, multi-byte UTF-8 (é, 😀).
+    const ALPHABET: &[char] = &[
+        'a', 'Z', '0', '"', '\\', '\n', '\t', 'é', '😀', ' ', '/', '{',
+    ];
+    proptest::collection::vec(0usize..ALPHABET.len(), 0..12)
+        .prop_map(|ixs| ixs.into_iter().map(|i| ALPHABET[i]).collect())
+}
+
+fn number_strategy() -> BoxedStrategy<Value> {
+    prop_oneof![
+        any::<u64>().prop_map(|v| Value::Number(Number::from_u64(v))),
+        any::<i64>().prop_map(|v| Value::Number(Number::from_i64(v))),
+        // Finite floats only: NaN/Infinity serialize as null by design.
+        (-1e15f64..1e15).prop_map(|v| Value::Number(Number::from_f64(v))),
+        (-1.0f64..1.0).prop_map(|v| Value::Number(Number::from_f64(v * 1e-9))),
+    ]
+    .boxed()
+}
+
+fn leaf_strategy() -> BoxedStrategy<Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        number_strategy(),
+        string_strategy().prop_map(Value::String),
+    ]
+    .boxed()
+}
+
+fn value_strategy(depth: usize) -> BoxedStrategy<Value> {
+    if depth == 0 {
+        return leaf_strategy();
+    }
+    let inner = value_strategy(depth - 1);
+    let arrays = proptest::collection::vec(value_strategy(depth - 1), 0..4).prop_map(Value::Array);
+    let objects = proptest::collection::vec((string_strategy(), value_strategy(depth - 1)), 0..4)
+        .prop_map(|entries| {
+            let mut map = Map::new();
+            for (k, v) in entries {
+                map.insert(k, v);
+            }
+            Value::Object(map)
+        });
+    prop_oneof![3 => leaf_strategy(), 1 => inner, 1 => arrays.boxed(), 1 => objects.boxed()].boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn value_trees_roundtrip_through_text(value in value_strategy(3)) {
+        let text = value.to_string();
+        let back: Value = serde_json::from_str(&text).expect(&text);
+        prop_assert_eq!(back, value);
+    }
+
+    #[test]
+    fn strings_roundtrip_exactly(s in string_strategy()) {
+        let text = serde_json::to_string(&s).unwrap();
+        let back: String = serde_json::from_str(&text).unwrap();
+        prop_assert_eq!(back, s);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derived round trips: a miniature of the CLI's manifest types.
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Target {
+    Default,
+    Ratio(f64),
+    Window { low: f64, high: f64 },
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Entry {
+    name: String,
+    dims: Vec<usize>,
+    target: Option<Target>,
+    enabled: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Config {
+    application: String,
+    entries: Vec<Entry>,
+    notes: BTreeMap<String, String>,
+}
+
+fn entry_strategy() -> impl Strategy<Value = Entry> {
+    (
+        string_strategy(),
+        proptest::collection::vec(1usize..1000, 1..4),
+        prop_oneof![
+            Just(None),
+            Just(Some(Target::Default)),
+            (0.5f64..100.0).prop_map(|r| Some(Target::Ratio(r))),
+            (0.5f64..10.0).prop_map(|low| Some(Target::Window {
+                low,
+                high: low * 2.0
+            })),
+        ],
+        any::<bool>(),
+    )
+        .prop_map(|(name, dims, target, enabled)| Entry {
+            name,
+            dims,
+            target,
+            enabled,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn derived_structs_roundtrip(
+        application in string_strategy(),
+        entries in proptest::collection::vec(entry_strategy(), 0..5),
+        notes in proptest::collection::vec((string_strategy(), string_strategy()), 0..4),
+    ) {
+        let config = Config {
+            application,
+            entries,
+            notes: notes.into_iter().collect(),
+        };
+        let text = serde_json::to_string(&config).unwrap();
+        let back: Config = serde_json::from_str(&text).expect(&text);
+        prop_assert_eq!(back, config);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Error-message regressions: the readable failures manifests depend on.
+
+#[test]
+fn unknown_field_is_named_with_expected_set() {
+    let err = serde_json::from_str::<Entry>(
+        r#"{"name": "x", "dims": [1], "enabled": true, "dimms": [2]}"#,
+    )
+    .unwrap_err()
+    .to_string();
+    assert!(err.contains("unknown field `dimms` in Entry"), "{err}");
+    assert!(err.contains("`dims`"), "{err}");
+}
+
+#[test]
+fn missing_field_is_named() {
+    let err = serde_json::from_str::<Entry>(r#"{"name": "x", "enabled": true}"#)
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("missing field `dims` in Entry"), "{err}");
+}
+
+#[test]
+fn optional_fields_may_be_absent() {
+    let entry: Entry =
+        serde_json::from_str(r#"{"name": "x", "dims": [4, 5], "enabled": false}"#).unwrap();
+    assert_eq!(entry.target, None);
+    assert_eq!(entry.dims, vec![4, 5]);
+}
+
+#[test]
+fn type_mismatch_paths_point_at_the_entry() {
+    let err = serde_json::from_str::<Config>(
+        r#"{"application": "a", "notes": {},
+            "entries": [{"name": "x", "dims": [1, "two"], "enabled": true}]}"#,
+    )
+    .unwrap_err()
+    .to_string();
+    assert!(err.contains("entries[0].dims[1]"), "{err}");
+    assert!(err.contains("expected an unsigned integer"), "{err}");
+}
+
+#[test]
+fn enum_variants_roundtrip_and_reject_unknowns() {
+    let t: Target = serde_json::from_str("\"Default\"").unwrap();
+    assert_eq!(t, Target::Default);
+    let t: Target = serde_json::from_str(r#"{"Ratio": 8.5}"#).unwrap();
+    assert_eq!(t, Target::Ratio(8.5));
+    let t: Target = serde_json::from_str(r#"{"Window": {"low": 1.0, "high": 2.0}}"#).unwrap();
+    assert_eq!(
+        t,
+        Target::Window {
+            low: 1.0,
+            high: 2.0
+        }
+    );
+
+    let err = serde_json::from_str::<Target>("\"Ration\"")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("unknown variant `Ration` of Target"), "{err}");
+    assert!(err.contains("`Ratio`"), "{err}");
+}
+
+#[test]
+fn syntax_errors_name_the_location() {
+    let err = serde_json::from_str::<Value>("{\n  \"a\": [1, 2,\n}")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("line 3"), "{err}");
+}
+
+#[test]
+fn from_value_matches_from_str() {
+    let entry = Entry {
+        name: "CLOUDf".into(),
+        dims: vec![100, 500, 500],
+        target: Some(Target::Ratio(10.0)),
+        enabled: true,
+    };
+    let value = serde_json::to_value(&entry).unwrap();
+    let back: Entry = serde_json::from_value(value).unwrap();
+    assert_eq!(back, entry);
+}
