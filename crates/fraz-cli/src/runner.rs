@@ -146,6 +146,7 @@ pub fn run(
         }
         for (slot, field) in quality_outcomes.iter_mut().zip(&quality_fields) {
             let compressor = compressor.clone();
+            let pool = orchestrator.pool().clone();
             scope.spawn(move || {
                 let FieldTarget::MinPsnr(min_psnr) = field.target else {
                     unreachable!("filtered above")
@@ -155,7 +156,9 @@ pub fn run(
                 if let Some(iters) = max_iterations {
                     config.max_iterations = iters.max(2);
                 }
-                let search = FixedQualitySearch::new(compressor, config);
+                // Same shared pool as the ratio fields: the search's sweep
+                // evaluations become nested tasks instead of a serial loop.
+                let search = FixedQualitySearch::new(compressor, config).with_pool(pool);
                 let field_start = Instant::now();
                 let outcomes: Vec<QualitySearchOutcome> =
                     field.series.iter().map(|ds| search.run(ds)).collect();

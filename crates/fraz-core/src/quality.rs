@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use fraz_data::Dataset;
+use fraz_pool::Pool;
 use fraz_pressio::{CompressionOutcome, Compressor};
 
 use crate::regions::BoundScale;
@@ -112,16 +113,31 @@ pub struct QualitySearchOutcome {
 pub struct FixedQualitySearch {
     compressor: Arc<dyn Compressor>,
     config: QualitySearchConfig,
+    pool: Option<Arc<Pool>>,
 }
 
 impl FixedQualitySearch {
     /// Create a search driver over the given compressor backend (owned box
     /// or shared handle).
+    ///
+    /// The phase-1 bracketing sweep runs its (independent) evaluations as
+    /// tasks on the process-wide [`fraz_pool::global`] pool unless
+    /// [`with_pool`](Self::with_pool) installs a shared one; no call to
+    /// [`run`](Self::run) ever spawns an OS thread.
     pub fn new(compressor: impl Into<Arc<dyn Compressor>>, config: QualitySearchConfig) -> Self {
         Self {
             compressor: compressor.into(),
             config,
+            pool: None,
         }
+    }
+
+    /// Run the sweep evaluations on `pool` instead of the global pool.  The
+    /// CLI runner uses this to put quality searches on the same shared
+    /// work-stealing pool as the orchestrator's ratio fields.
+    pub fn with_pool(mut self, pool: Arc<Pool>) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// Borrow the underlying compressor.
@@ -150,14 +166,72 @@ impl FixedQualitySearch {
             BoundScale::Log => 10f64.powf(x),
         };
 
-        // Track the best acceptable evaluation (highest ratio among those
-        // satisfying the constraint).
-        let mut best_acceptable: Option<(f64, CompressionOutcome)> = None;
-        let evaluations = std::cell::Cell::new(0usize);
+        // Phase 1: coarse sweep to bracket the constraint boundary.  The
+        // quality degrades (noisily) as the bound grows, so the boundary is
+        // the largest bound that still satisfies the constraint.  The sweep
+        // points are independent, so each compress + decompress + measure
+        // round runs as a task on the shared work-stealing pool, writing
+        // into its own slot; the fold below stays in sweep order, so the
+        // outcome is identical to the old serial sweep.
+        let sweep_points = (self.config.max_iterations / 2).clamp(4, 12);
+        let (xlo, xhi) = (to_x(lower), to_x(upper));
+        let sweep_xs: Vec<f64> = (0..sweep_points)
+            .map(|i| xlo + (xhi - xlo) * i as f64 / (sweep_points - 1) as f64)
+            .collect();
+        let mut sweep_results: Vec<Option<(f64, bool, CompressionOutcome)>> =
+            vec![None; sweep_points];
+        {
+            let pool: &Pool = match &self.pool {
+                Some(pool) => pool,
+                None => fraz_pool::global(),
+            };
+            pool.scope(|scope| {
+                let from_x = &from_x;
+                for (slot, &x) in sweep_results.iter_mut().zip(&sweep_xs) {
+                    scope.spawn(move || {
+                        let bound = from_x(x).clamp(lower, upper);
+                        if let Ok(outcome) = self.compressor.evaluate(dataset, bound, true) {
+                            let quality = outcome.quality.as_ref().expect("quality requested");
+                            let ok = self.config.metric.is_satisfied(quality);
+                            *slot = Some((bound, ok, outcome));
+                        }
+                    });
+                }
+            });
+        }
 
-        let evaluate = |x: f64, best: &mut Option<(f64, CompressionOutcome)>| -> Option<bool> {
+        // Fold the sweep in order: track the best acceptable evaluation
+        // (highest ratio among those satisfying the constraint) and the
+        // bracket around the constraint boundary.
+        let mut evaluations = sweep_points;
+        let mut best_acceptable: Option<(f64, CompressionOutcome)> = None;
+        let mut last_ok: Option<f64> = None;
+        let mut first_bad: Option<f64> = None;
+        for (&x, result) in sweep_xs.iter().zip(sweep_results.into_iter()) {
+            match result {
+                Some((bound, true, outcome)) => {
+                    last_ok = Some(x);
+                    let better = match &best_acceptable {
+                        None => true,
+                        Some((_, b)) => outcome.compression_ratio > b.compression_ratio,
+                    };
+                    if better {
+                        best_acceptable = Some((bound, outcome));
+                    }
+                }
+                Some((_, false, _)) => {
+                    if last_ok.is_some() && first_bad.is_none() {
+                        first_bad = Some(x);
+                    }
+                }
+                None => {}
+            }
+        }
+
+        let remaining = self.config.max_iterations.saturating_sub(evaluations);
+        let mut evaluate = |x: f64, best: &mut Option<(f64, CompressionOutcome)>| -> Option<bool> {
             let bound = from_x(x).clamp(lower, upper);
-            evaluations.set(evaluations.get() + 1);
+            evaluations += 1;
             match self.compressor.evaluate(dataset, bound, true) {
                 Ok(outcome) => {
                     let quality = outcome.quality.as_ref().expect("quality requested");
@@ -177,30 +251,10 @@ impl FixedQualitySearch {
             }
         };
 
-        // Phase 1: coarse sweep to bracket the constraint boundary.  The
-        // quality degrades (noisily) as the bound grows, so the boundary is
-        // the largest bound that still satisfies the constraint.
-        let sweep_points = (self.config.max_iterations / 2).clamp(4, 12);
-        let (xlo, xhi) = (to_x(lower), to_x(upper));
-        let mut last_ok: Option<f64> = None;
-        let mut first_bad: Option<f64> = None;
-        for i in 0..sweep_points {
-            let x = xlo + (xhi - xlo) * i as f64 / (sweep_points - 1) as f64;
-            match evaluate(x, &mut best_acceptable) {
-                Some(true) => last_ok = Some(x),
-                Some(false) => {
-                    if last_ok.is_some() && first_bad.is_none() {
-                        first_bad = Some(x);
-                    }
-                }
-                None => {}
-            }
-        }
-
         // Phase 2: bisect between the last satisfying and the first violating
-        // bound to squeeze out the remaining compression.
+        // bound to squeeze out the remaining compression.  Each probe depends
+        // on the previous verdict, so this phase is inherently serial.
         if let (Some(mut ok_x), Some(mut bad_x)) = (last_ok, first_bad) {
-            let remaining = self.config.max_iterations.saturating_sub(evaluations.get());
             for _ in 0..remaining {
                 if (bad_x - ok_x).abs() <= self.config.improvement_tolerance * (xhi - xlo).abs() {
                     break;
@@ -219,7 +273,7 @@ impl FixedQualitySearch {
                 error_bound: bound,
                 best: outcome,
                 satisfiable: true,
-                evaluations: evaluations.get(),
+                evaluations,
                 elapsed: start.elapsed(),
             },
             None => {
@@ -241,7 +295,7 @@ impl FixedQualitySearch {
                     error_bound: lower,
                     best: fallback,
                     satisfiable: false,
-                    evaluations: evaluations.get(),
+                    evaluations,
                     elapsed: start.elapsed(),
                 }
             }

@@ -10,6 +10,19 @@
 //! consecutive codewords to symbols sorted by `(length, symbol)`.  This keeps
 //! the table overhead proportional to the number of *distinct* symbols rather
 //! than the alphabet size.
+//!
+//! # Fast paths
+//!
+//! The hot loops avoid hashing and per-bit work entirely:
+//!
+//! * frequency counting and the symbol→code map use flat arrays indexed by
+//!   symbol whenever the alphabet is dense enough (the common case for both
+//!   quantization codes and LZSS token alphabets), falling back to a
+//!   `HashMap` only for genuinely sparse/huge alphabets;
+//! * [`Decoder::decode_symbol`] is table-driven in the style of DEFLATE
+//!   decoders: it peeks a fixed [`TABLE_BITS`]-wide window, resolves codes of
+//!   up to that length with one load from a primary lookup table, and only
+//!   chains into the canonical per-length walk for the rare longer codes.
 
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
@@ -23,13 +36,49 @@ use crate::{CodingError, Result};
 /// covers any realistic input; we still verify it defensively.
 pub const MAX_CODE_LEN: u8 = 64;
 
+/// Width of the primary decode lookup table: codes at most this long resolve
+/// with a single peek + load.
+pub const TABLE_BITS: u32 = 10;
+
+/// Largest symbol value for which the encoder keeps its symbol→code map in a
+/// flat array (2^16 covers SZ quantization codes and both LZSS alphabets).
+const DENSE_LIMIT: u32 = 1 << 16;
+
+/// Encoding map: symbol → `(length, canonical code)`.
+#[derive(Debug, Clone)]
+enum CodeStore {
+    /// Indexed directly by symbol; `len == 0` marks an uncoded symbol.
+    Dense(Vec<(u8, u64)>),
+    /// Fallback for sparse alphabets with huge symbol values.
+    Sparse(HashMap<u32, (u8, u64)>),
+}
+
+impl Default for CodeStore {
+    fn default() -> Self {
+        CodeStore::Dense(Vec::new())
+    }
+}
+
+impl CodeStore {
+    #[inline]
+    fn get(&self, symbol: u32) -> Option<(u8, u64)> {
+        match self {
+            CodeStore::Dense(table) => match table.get(symbol as usize) {
+                Some(&(len, code)) if len != 0 => Some((len, code)),
+                _ => None,
+            },
+            CodeStore::Sparse(map) => map.get(&symbol).copied(),
+        }
+    }
+}
+
 /// A canonical Huffman code book mapping symbols to `(length, code)` pairs.
 #[derive(Debug, Clone, Default)]
 pub struct CodeBook {
     /// `(symbol, code length)` sorted by `(length, symbol)`.
     lengths: Vec<(u32, u8)>,
     /// Encoding map: symbol -> (length, canonical code value).
-    codes: HashMap<u32, (u8, u64)>,
+    codes: CodeStore,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -145,13 +194,35 @@ impl CodeBook {
     }
 
     /// Count frequencies in `symbols` and build a code book.
+    ///
+    /// Counting is done into a flat array indexed by symbol when the largest
+    /// symbol is small enough (the common case); the `HashMap` path only
+    /// exists for sparse alphabets with huge symbol values.
     pub fn from_symbols(symbols: &[u32]) -> Self {
-        let mut counts: HashMap<u32, u64> = HashMap::new();
-        for &s in symbols {
-            *counts.entry(s).or_insert(0) += 1;
+        if symbols.is_empty() {
+            return Self::default();
         }
-        let freqs: Vec<(u32, u64)> = counts.into_iter().collect();
-        Self::from_frequencies(&freqs)
+        let max = symbols.iter().copied().max().expect("non-empty");
+        if max < DENSE_LIMIT {
+            let mut counts = vec![0u64; max as usize + 1];
+            for &s in symbols {
+                counts[s as usize] += 1;
+            }
+            let freqs: Vec<(u32, u64)> = counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &f)| f > 0)
+                .map(|(s, &f)| (s as u32, f))
+                .collect();
+            Self::from_frequencies(&freqs)
+        } else {
+            let mut counts: HashMap<u32, u64> = HashMap::new();
+            for &s in symbols {
+                *counts.entry(s).or_insert(0) += 1;
+            }
+            let freqs: Vec<(u32, u64)> = counts.into_iter().collect();
+            Self::from_frequencies(&freqs)
+        }
     }
 
     /// Build a canonical code book directly from `(symbol, code length)`
@@ -177,7 +248,15 @@ impl CodeBook {
             ));
         }
 
-        let mut codes = HashMap::with_capacity(lengths.len());
+        let max_symbol = lengths.iter().map(|&(s, _)| s).max().unwrap_or(0);
+        let mut codes = if lengths.is_empty() || max_symbol < DENSE_LIMIT {
+            CodeStore::Dense(vec![
+                (0u8, 0u64);
+                lengths.len().min(1) * (max_symbol as usize + 1)
+            ])
+        } else {
+            CodeStore::Sparse(HashMap::with_capacity(lengths.len()))
+        };
         let mut code: u64 = 0;
         let mut prev_len: u8 = 0;
         for &(sym, len) in &lengths {
@@ -187,7 +266,12 @@ impl CodeBook {
                 code <<= len - prev_len;
             }
             prev_len = len;
-            codes.insert(sym, (len, code));
+            match &mut codes {
+                CodeStore::Dense(table) => table[sym as usize] = (len, code),
+                CodeStore::Sparse(map) => {
+                    map.insert(sym, (len, code));
+                }
+            }
         }
 
         Ok(Self { lengths, codes })
@@ -203,9 +287,15 @@ impl CodeBook {
         self.lengths.len()
     }
 
+    /// `(length, canonical code)` for `symbol`, if coded.
+    #[inline]
+    pub fn lookup(&self, symbol: u32) -> Option<(u8, u64)> {
+        self.codes.get(symbol)
+    }
+
     /// Code length for `symbol`, if coded.
     pub fn code_len(&self, symbol: u32) -> Option<u8> {
-        self.codes.get(&symbol).map(|&(l, _)| l)
+        self.lookup(symbol).map(|(l, _)| l)
     }
 
     /// Expected encoded size in bits for the given `(symbol, frequency)`
@@ -222,9 +312,10 @@ impl CodeBook {
     }
 
     /// Append the code for `symbol` to `w`.
+    #[inline]
     pub fn encode_symbol(&self, symbol: u32, w: &mut BitWriter) -> Result<()> {
-        match self.codes.get(&symbol) {
-            Some(&(len, code)) => {
+        match self.codes.get(symbol) {
+            Some((len, code)) => {
                 w.write_bits(code, len as u32);
                 Ok(())
             }
@@ -284,7 +375,18 @@ impl CodeBook {
     }
 }
 
-/// Canonical Huffman decoder using per-length first-code tables.
+/// Primary-table entry: the symbol and its code length, or `len == 0` for
+/// windows whose prefix is either invalid or belongs to a code longer than
+/// the table width.
+#[derive(Debug, Clone, Copy)]
+struct TableEntry {
+    sym: u32,
+    len: u8,
+}
+
+/// Canonical Huffman decoder: a [`TABLE_BITS`]-wide primary lookup table for
+/// the short codes that dominate real streams, chained to per-length
+/// first-code tables for the rare long codes.
 #[derive(Debug, Clone)]
 pub struct Decoder {
     /// For each length `l`, the first canonical code of that length.
@@ -297,6 +399,10 @@ pub struct Decoder {
     /// Symbols sorted by `(length, symbol)` — canonical order.
     symbols: Vec<u32>,
     max_len: u8,
+    /// Primary lookup table, `1 << table_bits` entries.
+    table: Vec<TableEntry>,
+    /// Actual table width: `min(max_len, TABLE_BITS)`.
+    table_bits: u32,
 }
 
 impl Decoder {
@@ -318,20 +424,62 @@ impl Decoder {
             code += count[l] as u64;
             index += count[l];
         }
+
+        // Primary table: every `table_bits`-wide window whose prefix is a
+        // code of length <= table_bits maps straight to its symbol.
+        let table_bits = (max_len as u32).min(TABLE_BITS);
+        let mut table = vec![TableEntry { sym: 0, len: 0 }; 1usize << table_bits];
+        let mut canon_code = 0u64;
+        let mut prev_len = 0u8;
+        for &(sym, len) in &book.lengths {
+            if prev_len != 0 {
+                canon_code = (canon_code + 1) << (len - prev_len);
+            }
+            prev_len = len;
+            if len as u32 <= table_bits {
+                let shift = table_bits - len as u32;
+                let base = (canon_code << shift) as usize;
+                for slot in &mut table[base..base + (1usize << shift)] {
+                    *slot = TableEntry { sym, len };
+                }
+            }
+        }
+
         Self {
             first_code,
             first_index,
             count,
             symbols,
             max_len,
+            table,
+            table_bits,
         }
     }
 
-    /// Decode one symbol from `r`.
+    /// Decode one symbol from `r`: one peek + one table load for codes of up
+    /// to [`TABLE_BITS`] bits, falling back to the canonical per-length walk
+    /// for longer codes.
+    #[inline]
     pub fn decode_symbol(&self, r: &mut BitReader<'_>) -> Result<u32> {
         if self.symbols.is_empty() {
             return Err(CodingError::InvalidCodeTable("empty code book".into()));
         }
+        let window = r.peek_bits(self.table_bits) as usize;
+        let entry = self.table[window];
+        if entry.len != 0 {
+            if entry.len as usize > r.bits_remaining() {
+                return Err(CodingError::UnexpectedEof);
+            }
+            r.consume(entry.len as u32);
+            return Ok(entry.sym);
+        }
+        self.decode_symbol_slow(r)
+    }
+
+    /// Bit-at-a-time canonical walk for codes longer than the primary table
+    /// (and for invalid prefixes, which fall off the end).
+    #[cold]
+    fn decode_symbol_slow(&self, r: &mut BitReader<'_>) -> Result<u32> {
         let mut code = 0u64;
         for len in 1..=self.max_len as usize {
             code = (code << 1) | (r.read_bit()? as u64);
@@ -432,6 +580,17 @@ mod tests {
     }
 
     #[test]
+    fn huge_symbol_values_use_the_sparse_store() {
+        // Symbols far above DENSE_LIMIT: the flat-array store would need
+        // gigabytes, so the sparse fallback must kick in and still roundtrip.
+        let symbols: Vec<u32> = (0..500u32)
+            .map(|i| u32::MAX - (i % 37) * 1_000_000)
+            .collect();
+        let packed = encode_symbols(&symbols);
+        assert_eq!(decode_symbols(&packed).unwrap(), symbols);
+    }
+
+    #[test]
     fn expected_bits_matches_actual_payload() {
         let symbols: Vec<u32> = (0..2048u32).map(|i| i % 17).collect();
         let book = CodeBook::from_symbols(&symbols);
@@ -496,12 +655,37 @@ mod tests {
     }
 
     #[test]
+    fn long_codes_chain_past_the_primary_table() {
+        // An exponential frequency ladder forces code lengths well beyond
+        // TABLE_BITS, exercising the slow-path chaining.
+        let freqs: Vec<(u32, u64)> = (0..24u32).map(|s| (s, 1u64 << s)).collect();
+        let book = CodeBook::from_frequencies(&freqs);
+        let max_len = (0..24u32)
+            .filter_map(|s| book.code_len(s))
+            .max()
+            .unwrap_or(0);
+        assert!(
+            max_len as u32 > TABLE_BITS,
+            "ladder should exceed the table width, got {max_len}"
+        );
+        let mut w = BitWriter::new();
+        let symbols: Vec<u32> = (0..24u32).chain((0..24).rev()).collect();
+        for &s in &symbols {
+            book.encode_symbol(s, &mut w).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let decoder = book.decoder();
+        for &s in &symbols {
+            assert_eq!(decoder.decode_symbol(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
     fn canonical_codes_are_prefix_free() {
         let symbols: Vec<u32> = (0..4096u32).map(|i| i % 300).collect();
         let book = CodeBook::from_symbols(&symbols);
-        let mut codes: Vec<(u8, u64)> = (0..300u32)
-            .filter_map(|s| book.codes.get(&s).copied())
-            .collect();
+        let mut codes: Vec<(u8, u64)> = (0..300u32).filter_map(|s| book.lookup(s)).collect();
         codes.sort();
         for i in 0..codes.len() {
             for j in (i + 1)..codes.len() {

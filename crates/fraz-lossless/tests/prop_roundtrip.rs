@@ -8,6 +8,8 @@ use fraz_lossless::huffman;
 use fraz_lossless::lzss::{self, LzssConfig};
 use fraz_lossless::rle;
 
+mod reference;
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -97,5 +99,41 @@ proptest! {
     fn decompress_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
         // Corrupted/arbitrary input must produce Ok or Err, never a panic.
         let _ = fraz_lossless::decompress(&data);
+    }
+}
+
+// The optimized encoder against the naive reference decoder (an independent,
+// bit-at-a-time implementation of the frozen wire format under
+// `tests/reference/`): if the fast paths ever drift from the format, these
+// disagree immediately.  Fewer cases than above — the reference decoder is
+// deliberately slow.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn framed_output_decodes_with_reference_decoder(
+        data in proptest::collection::vec(any::<u8>(), 0..1024)
+    ) {
+        let packed = fraz_lossless::compress(&data);
+        prop_assert_eq!(reference::decompress_framed(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn lzss_profiles_decode_with_reference_decoder(
+        data in proptest::collection::vec(0u8..16, 0..1024)
+    ) {
+        for config in [LzssConfig::default(), LzssConfig::fast(), LzssConfig::high()] {
+            let packed = lzss::compress(&data, &config);
+            let restored = reference::decompress_lzss(&packed, data.len()).unwrap();
+            prop_assert_eq!(&restored, &data);
+        }
+    }
+
+    #[test]
+    fn huffman_output_decodes_with_reference_decoder(
+        symbols in proptest::collection::vec(0u32..50_000, 0..768)
+    ) {
+        let packed = huffman::encode_symbols(&symbols);
+        prop_assert_eq!(reference::decode_huffman_symbols(&packed).unwrap(), symbols);
     }
 }

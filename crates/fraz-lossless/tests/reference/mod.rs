@@ -1,0 +1,199 @@
+//! A deliberately naive, independent decoder for the frozen on-wire format.
+//!
+//! This module re-implements the bit layer, the canonical Huffman table, and
+//! the LZSS token stream from the format's *specification* (MSB-first bits,
+//! LEB128-in-bits varints, `(length, symbol)`-canonical codes, log2-bucketed
+//! distances, `"FZL1"` framing) without sharing a line of code with the
+//! optimized implementation in `src/`.  Property tests pit the production
+//! encoder against this decoder: if the fast paths ever drift from the
+//! format, the two sides disagree immediately.
+//!
+//! Everything here favours obviousness over speed: one bit at a time, one
+//! byte at a time, `String` errors.
+
+/// Reads single bits MSB-first from a byte slice.
+pub struct NaiveBitReader<'a> {
+    data: &'a [u8],
+    bit: usize,
+}
+
+impl<'a> NaiveBitReader<'a> {
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, bit: 0 }
+    }
+
+    fn read_bit(&mut self) -> Result<u64, String> {
+        let byte = self.bit / 8;
+        if byte >= self.data.len() {
+            return Err("unexpected end of stream".into());
+        }
+        let shift = 7 - (self.bit % 8);
+        self.bit += 1;
+        Ok(((self.data[byte] >> shift) & 1) as u64)
+    }
+
+    fn read_bits(&mut self, n: u32) -> Result<u64, String> {
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit()?;
+        }
+        Ok(v)
+    }
+
+    /// LEB128-style varint: groups of (continuation bit, 7 value bits),
+    /// low group first.
+    fn read_uvarint(&mut self) -> Result<u64, String> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let more = self.read_bit()? == 1;
+            let group = self.read_bits(7)?;
+            value |= group << shift;
+            shift += 7;
+            if !more || shift >= 64 {
+                break;
+            }
+        }
+        Ok(value)
+    }
+}
+
+/// A canonical code book as `(symbol, length)` pairs in canonical order.
+pub struct NaiveCodeBook {
+    /// `(code, length, symbol)`, one entry per coded symbol.
+    entries: Vec<(u64, u8, u32)>,
+}
+
+impl NaiveCodeBook {
+    /// Parse the serialized table: varint entry count, then per entry a
+    /// varint symbol delta (ascending symbol order) and a 6-bit code length.
+    fn read(r: &mut NaiveBitReader<'_>) -> Result<Self, String> {
+        let count = r.read_uvarint()? as usize;
+        if count > (1 << 28) {
+            return Err(format!("implausible symbol count {count}"));
+        }
+        let mut pairs: Vec<(u32, u8)> = Vec::with_capacity(count);
+        let mut prev = 0u64;
+        for _ in 0..count {
+            let delta = r.read_uvarint()?;
+            let len = r.read_bits(6)? as u8;
+            let sym = prev + delta;
+            if sym > u32::MAX as u64 || len == 0 {
+                return Err("invalid table entry".into());
+            }
+            pairs.push((sym as u32, len));
+            prev = sym;
+        }
+        // Canonical assignment: consecutive codes to symbols sorted by
+        // (length, symbol).
+        pairs.sort_by_key(|&(s, l)| (l, s));
+        let mut entries = Vec::with_capacity(pairs.len());
+        let mut code = 0u64;
+        let mut prev_len = 0u8;
+        for &(sym, len) in &pairs {
+            if prev_len != 0 {
+                code = (code + 1) << (len - prev_len);
+            }
+            prev_len = len;
+            entries.push((code, len, sym));
+        }
+        Ok(Self { entries })
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Decode one symbol by lengthening the read prefix until it equals one
+    /// of the canonical codes — the most literal reading of prefix codes.
+    fn decode_symbol(&self, r: &mut NaiveBitReader<'_>) -> Result<u32, String> {
+        let max_len = self.entries.iter().map(|&(_, l, _)| l).max().unwrap_or(0);
+        let mut code = 0u64;
+        for len in 1..=max_len {
+            code = (code << 1) | r.read_bit()?;
+            for &(c, l, sym) in &self.entries {
+                if l == len && c == code {
+                    return Ok(sym);
+                }
+            }
+        }
+        Err("bit pattern matches no code".into())
+    }
+}
+
+/// Decode a self-contained `huffman::encode_symbols` buffer
+/// (varint count, table, payload).
+pub fn decode_huffman_symbols(data: &[u8]) -> Result<Vec<u32>, String> {
+    let mut r = NaiveBitReader::new(data);
+    let n = r.read_uvarint()? as usize;
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let book = NaiveCodeBook::read(&mut r)?;
+    (0..n).map(|_| book.decode_symbol(&mut r)).collect()
+}
+
+/// First symbol of the match-length range in the literal/length alphabet.
+const LEN_SYMBOL_BASE: u32 = 256;
+/// Shortest representable match.
+const MIN_MATCH: usize = 4;
+
+/// Decode a raw LZSS payload (litlen table, distance table, token stream)
+/// into exactly `expected_len` bytes.
+pub fn decompress_lzss(data: &[u8], expected_len: usize) -> Result<Vec<u8>, String> {
+    if expected_len == 0 {
+        return Ok(Vec::new());
+    }
+    let mut r = NaiveBitReader::new(data);
+    let litlen = NaiveCodeBook::read(&mut r)?;
+    let dist = NaiveCodeBook::read(&mut r)?;
+    let mut out = Vec::with_capacity(expected_len);
+    while out.len() < expected_len {
+        let sym = litlen.decode_symbol(&mut r)?;
+        if sym < LEN_SYMBOL_BASE {
+            out.push(sym as u8);
+        } else {
+            let length = (sym - LEN_SYMBOL_BASE) as usize + MIN_MATCH;
+            if dist.is_empty() {
+                return Err("match token without a distance table".into());
+            }
+            let slot = dist.decode_symbol(&mut r)?;
+            if slot > 63 {
+                return Err(format!("invalid distance slot {slot}"));
+            }
+            let extra = r.read_bits(slot)?;
+            let distance = ((1u64 << slot) + extra) as usize;
+            if distance == 0 || distance > out.len() {
+                return Err(format!(
+                    "back-reference {distance} exceeds produced {}",
+                    out.len()
+                ));
+            }
+            // Overlapping copies must read bytes produced *during* this
+            // match, so re-index from the current end every iteration.
+            for _ in 0..length {
+                let src = out.len() - distance;
+                out.push(out[src]);
+                if out.len() > expected_len {
+                    return Err("decoded past the declared length".into());
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Decode the `"FZL1"` framed container (magic, u64 LE length, payload).
+pub fn decompress_framed(data: &[u8]) -> Result<Vec<u8>, String> {
+    if data.len() < 12 {
+        return Err("truncated frame header".into());
+    }
+    let magic = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    if magic != 0x465A_4C31 {
+        return Err(format!("bad magic 0x{magic:08x}"));
+    }
+    let len = u64::from_le_bytes([
+        data[4], data[5], data[6], data[7], data[8], data[9], data[10], data[11],
+    ]) as usize;
+    decompress_lzss(&data[12..], len)
+}

@@ -12,7 +12,10 @@
 //!   the ∞-norm (absolute-error) guarantee holds exactly,
 //! * an L2-norm mode that maps a target L2/RMS error to the equivalent
 //!   uniform quantization step,
-//! * Huffman + LZSS back-end coding (the same lossless substrate SZ uses).
+//! * Huffman + LZSS back-end coding (the same lossless substrate SZ uses,
+//!   including its per-thread reusable dictionary encoder — repeated
+//!   compressions from the search loop's pool workers pay the LZSS scratch
+//!   allocation once per worker, not once per call).
 //!
 //! Like the original MGARD 0.x evaluated in the FRaZ paper, **1-D data is
 //! not supported** — the paper's Fig. 9(d)/(e) omit MGARD for HACC and

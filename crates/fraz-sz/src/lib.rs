@@ -16,7 +16,11 @@
 //!    metadata and unpredictable values) is passed through the LZSS
 //!    dictionary coder (via [`fraz_lossless::compress`]), the stage that
 //!    produces the non-monotonic ratio-vs-bound behaviour the paper
-//!    documents in Fig. 3.
+//!    documents in Fig. 3.  `fraz_lossless::compress` holds one reusable
+//!    [`fraz_lossless::lzss::LzssEncoder`] per thread, so the fixed-ratio
+//!    search loop — which calls [`compress`] once per candidate bound from
+//!    the shared work-stealing pool — reuses one hash-chain/token scratch
+//!    per pool worker instead of reallocating it every evaluation.
 //!
 //! The absolute error bound is a hard guarantee:
 //! `max_i |d_i − d'_i| ≤ error_bound` for every input (verified by unit and

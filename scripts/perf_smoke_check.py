@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Guard the committed bench baselines against large perf regressions.
+
+Compares one benchmark row of a freshly recorded JSONL file (produced by a
+`FRAZ_BENCH_SMOKE=1 FRAZ_BENCH_RECORD_DIR=... cargo bench` run; see
+`vendor/criterion`) against the committed row in `baselines/`, and fails if
+throughput dropped by more than the tolerated fraction.
+
+The default tolerance is deliberately loose (40%): CI machines are noisy and
+the smoke run takes a single sample, so this only catches real cliffs — an
+accidentally quadratic loop, a lost fast path — not single-digit drift.
+
+Usage:
+    perf_smoke_check.py RECORDED.jsonl BASELINE.jsonl \
+        [--group lossless_dictionary] [--id lzss_compress] \
+        [--max-regression 0.40]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_row(path, group, bench_id):
+    last = None
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if row.get("group") == group and row.get("id") == bench_id:
+                last = row  # keep the most recent matching row
+    if last is None:
+        sys.exit(f"error: no row group={group!r} id={bench_id!r} in {path}")
+    if "mib_per_s" not in last:
+        sys.exit(f"error: row {group}/{bench_id} in {path} has no mib_per_s")
+    return last
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("recorded", help="freshly recorded JSONL file")
+    parser.add_argument("baseline", help="committed baseline JSONL file")
+    parser.add_argument("--group", default="lossless_dictionary")
+    parser.add_argument("--id", dest="bench_id", default="lzss_compress")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.40,
+        help="tolerated fractional drop below the baseline (default 0.40)",
+    )
+    args = parser.parse_args()
+
+    recorded = load_row(args.recorded, args.group, args.bench_id)
+    baseline = load_row(args.baseline, args.group, args.bench_id)
+
+    floor = baseline["mib_per_s"] * (1.0 - args.max_regression)
+    name = f"{args.group}/{args.bench_id}"
+    print(
+        f"{name}: recorded {recorded['mib_per_s']:.1f} MiB/s, "
+        f"baseline {baseline['mib_per_s']:.1f} MiB/s, "
+        f"floor {floor:.1f} MiB/s"
+    )
+    if recorded["mib_per_s"] < floor:
+        sys.exit(
+            f"error: {name} regressed more than "
+            f"{args.max_regression:.0%} below the committed baseline"
+        )
+    print("ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,12 @@ use crate::test_runner::TestRng;
 pub trait Arbitrary: Sized {
     /// Draw an arbitrary value of the type.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Greedy-halving candidates simpler than `value` (toward the type's
+    /// natural zero), most aggressive first.  Defaults to no shrinking.
+    fn shrink(_value: &Self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 macro_rules! arbitrary_ints {
@@ -14,6 +20,10 @@ macro_rules! arbitrary_ints {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+            fn shrink(value: &$t) -> Vec<$t> {
+                crate::strategy::shrink_int_toward(0, *value as i128)
+                    .into_iter().map(|v| v as $t).collect()
             }
         }
     )*};
@@ -25,6 +35,13 @@ impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
     }
+    fn shrink(value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 impl Arbitrary for f32 {
@@ -33,11 +50,30 @@ impl Arbitrary for f32 {
     fn arbitrary(rng: &mut TestRng) -> f32 {
         f32::from_bits(rng.next_u64() as u32)
     }
+    fn shrink(value: &f32) -> Vec<f32> {
+        if *value == 0.0 {
+            Vec::new()
+        } else if value.is_finite() {
+            vec![0.0, value / 2.0]
+        } else {
+            // NaN / infinities simplify straight to zero.
+            vec![0.0]
+        }
+    }
 }
 
 impl Arbitrary for f64 {
     fn arbitrary(rng: &mut TestRng) -> f64 {
         f64::from_bits(rng.next_u64())
+    }
+    fn shrink(value: &f64) -> Vec<f64> {
+        if *value == 0.0 {
+            Vec::new()
+        } else if value.is_finite() {
+            vec![0.0, value / 2.0]
+        } else {
+            vec![0.0]
+        }
     }
 }
 
@@ -49,6 +85,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
     type Value = T;
     fn new_value(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink(value)
     }
 }
 

@@ -46,12 +46,41 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let span = (self.size.max - self.size.min) as u64 + 1;
         let len = self.size.min + (rng.next_u64() % span) as usize;
         (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+
+    /// Greedy halving on two axes: the length (keep either half, drop the
+    /// last element) while it stays within the declared size range, then
+    /// element-wise simplification (one position at a time, capped so huge
+    /// vectors do not explode the candidate list).
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let n = value.len();
+        if n > self.size.min {
+            let half = self.size.min.max(n / 2);
+            if half < n {
+                out.push(value[..half].to_vec());
+                out.push(value[n - half..].to_vec());
+            }
+            out.push(value[..n - 1].to_vec());
+        }
+        const ELEMENT_SHRINK_CAP: usize = 32;
+        for (i, v) in value.iter().enumerate().take(ELEMENT_SHRINK_CAP) {
+            for candidate in self.element.shrink(v) {
+                let mut copy = value.clone();
+                copy[i] = candidate;
+                out.push(copy);
+            }
+        }
+        out
     }
 }
 

@@ -25,6 +25,20 @@ pub mod f32 {
             let mantissa = (bits as u32) & 0x007F_FFFF;
             core::primitive::f32::from_bits(sign | exponent | mantissa)
         }
+        /// Shrink toward `±1.0` (zero is not a normal float): same-sign
+        /// one, then halve while the halved value stays normal.
+        fn shrink(&self, value: &core::primitive::f32) -> Vec<core::primitive::f32> {
+            let one = 1.0f32.copysign(*value);
+            let mut out = Vec::new();
+            if *value != one {
+                out.push(one);
+                let half = value / 2.0;
+                if half.is_normal() && half != one {
+                    out.push(half);
+                }
+            }
+            out
+        }
     }
 }
 
@@ -46,6 +60,20 @@ pub mod f64 {
             let exponent = 1 + rng.next_u64() % 2046;
             let mantissa = rng.next_u64() & ((1u64 << 52) - 1);
             core::primitive::f64::from_bits(sign | (exponent << 52) | mantissa)
+        }
+        /// Shrink toward `±1.0` (zero is not a normal float): same-sign
+        /// one, then halve while the halved value stays normal.
+        fn shrink(&self, value: &core::primitive::f64) -> Vec<core::primitive::f64> {
+            let one = 1.0f64.copysign(*value);
+            let mut out = Vec::new();
+            if *value != one {
+                out.push(one);
+                let half = value / 2.0;
+                if half.is_normal() && half != one {
+                    out.push(half);
+                }
+            }
+            out
         }
     }
 }

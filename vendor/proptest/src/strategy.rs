@@ -6,14 +6,25 @@ use crate::test_runner::TestRng;
 
 /// A recipe for generating values of one type.
 ///
-/// Unlike real proptest there is no value tree / shrinking: a strategy just
-/// draws a fresh sample per case.
+/// Unlike real proptest there is no lazily-explored value tree: a strategy
+/// draws a fresh sample per case, and failing values are simplified after
+/// the fact through [`Strategy::shrink`] — a greedy-halving scheme where
+/// each call proposes a few strictly "simpler" candidates (jump to the
+/// minimum, halve toward it, step by one) and the runner keeps the first
+/// candidate that still fails, repeating until none do.
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Draw one value.
     fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Propose simpler candidates derived from a failing `value`, most
+    /// aggressive first.  The default is no shrinking (combinators like
+    /// [`Map`] cannot invert their transform).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Transform generated values with a function.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
@@ -40,6 +51,9 @@ impl<T> Strategy for BoxedStrategy<T> {
     type Value = T;
     fn new_value(&self, rng: &mut TestRng) -> T {
         self.0.new_value(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.shrink(value)
     }
 }
 
@@ -96,6 +110,39 @@ impl<T> Strategy for WeightedUnion<T> {
     }
 }
 
+/// Greedy-halving candidates for a float in `[lo, value)`: the range start,
+/// then the midpoint toward it.
+fn shrink_float_toward<T>(lo: T, value: T) -> Vec<T>
+where
+    T: Copy + PartialEq + PartialOrd + FromF64,
+    f64: From<T>,
+{
+    let mut out = Vec::new();
+    if value != lo {
+        out.push(lo);
+        let mid = T::from_f64(f64::from(lo) + (f64::from(value) - f64::from(lo)) / 2.0);
+        if mid != value && mid != lo && mid >= lo {
+            out.push(mid);
+        }
+    }
+    out
+}
+
+/// Narrowing `f64 -> Self` conversion for [`shrink_float_toward`].
+trait FromF64 {
+    fn from_f64(v: f64) -> Self;
+}
+impl FromF64 for f32 {
+    fn from_f64(v: f64) -> f32 {
+        v as f32
+    }
+}
+impl FromF64 for f64 {
+    fn from_f64(v: f64) -> f64 {
+        v
+    }
+}
+
 macro_rules! float_range_strategy {
     ($($t:ty => $unit:ident),*) => {$(
         impl Strategy for Range<$t> {
@@ -111,6 +158,9 @@ macro_rules! float_range_strategy {
                     sample
                 }
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_float_toward(self.start, *value)
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -118,6 +168,9 @@ macro_rules! float_range_strategy {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "empty strategy range");
                 lo + rng.$unit() * (hi - lo)
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_float_toward(*self.start(), *value)
             }
         }
     )*};
@@ -134,6 +187,10 @@ macro_rules! int_range_strategy {
                 let span = (self.end as i128 - self.start as i128) as u128;
                 (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward(self.start as i128, *value as i128)
+                    .into_iter().map(|v| v as $t).collect()
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -143,26 +200,67 @@ macro_rules! int_range_strategy {
                 let span = (hi as i128 - lo as i128) as u128 + 1;
                 (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward(*self.start() as i128, *value as i128)
+                    .into_iter().map(|v| v as $t).collect()
+            }
         }
     )*};
 }
 
 int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+/// Greedy-halving candidates for an integer shrunk toward `lo`: jump to
+/// `lo`, halve the distance, step by one (done in `i128` so every primitive
+/// width fits without overflow; `any::<iN>()` shrinks negatives toward 0 by
+/// passing `lo = 0`).
+pub(crate) fn shrink_int_toward(lo: i128, value: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if value != lo {
+        out.push(lo);
+        let mid = lo + (value - lo) / 2;
+        if mid != lo && mid != value {
+            out.push(mid);
+        }
+        let step = value - (value - lo).signum();
+        if step != lo && step != mid {
+            out.push(step);
+        }
+    }
+    out
+}
+
 macro_rules! tuple_strategy {
     ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
             fn new_value(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.new_value(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component at a time, the others held fixed.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = candidate;
+                        out.push(v);
+                    }
+                )+
+                out
             }
         }
     )+};
 }
 
 tuple_strategy!(
+    (A.0),
     (A.0, B.1),
     (A.0, B.1, C.2),
     (A.0, B.1, C.2, D.3),
     (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
 );

@@ -1,0 +1,109 @@
+//! Tests for the greedy-halving shrinkers: candidate generation per
+//! strategy, convergence of the greedy loop, and the end-to-end behaviour of
+//! the `proptest!` runner (a failing property must panic with the *minimal*
+//! counterexample, not the randomly drawn one).
+
+use proptest::arbitrary::any;
+use proptest::collection::vec;
+use proptest::num;
+use proptest::prelude::*;
+use proptest::strategy::Strategy;
+
+#[test]
+fn int_range_candidates_halve_toward_the_start() {
+    let strategy = 0u32..100;
+    assert_eq!(strategy.shrink(&77), vec![0, 38, 76]);
+    assert_eq!(strategy.shrink(&1), vec![0]);
+    assert_eq!(strategy.shrink(&0), Vec::<u32>::new());
+    let offset = 10u32..=100;
+    assert_eq!(offset.shrink(&11), vec![10]);
+}
+
+#[test]
+fn any_int_shrinks_negative_values_toward_zero() {
+    let strategy = any::<i64>();
+    assert_eq!(strategy.shrink(&-100), vec![0, -50, -99]);
+    assert_eq!(strategy.shrink(&100), vec![0, 50, 99]);
+    assert_eq!(strategy.shrink(&0), Vec::<i64>::new());
+}
+
+#[test]
+fn bool_and_float_candidates() {
+    assert_eq!(any::<bool>().shrink(&true), vec![false]);
+    assert_eq!(any::<bool>().shrink(&false), Vec::<bool>::new());
+    assert_eq!(any::<f64>().shrink(&8.0), vec![0.0, 4.0]);
+    assert_eq!(any::<f64>().shrink(&f64::NAN), vec![0.0]);
+    // NORMAL never proposes zero or a subnormal, and keeps the sign.
+    for candidate in num::f32::NORMAL.shrink(&-64.0f32) {
+        assert!(candidate.is_normal() && candidate < 0.0, "{candidate}");
+    }
+    assert_eq!(num::f32::NORMAL.shrink(&1.0f32), Vec::<f32>::new());
+}
+
+#[test]
+fn vec_candidates_respect_the_minimum_length() {
+    let strategy = vec(0u8..10, 3..=8);
+    let value = vec![9u8; 8];
+    for candidate in strategy.shrink(&value) {
+        assert!(candidate.len() >= 3, "candidate shorter than the minimum");
+        assert!(candidate.len() < value.len() || candidate.iter().sum::<u8>() < 72);
+    }
+    // A minimum-length vector still shrinks element-wise.
+    let floor = vec![5u8; 3];
+    assert!(strategy
+        .shrink(&floor)
+        .iter()
+        .all(|c| c.len() == 3 && c.iter().sum::<u8>() < 15));
+    assert!(!strategy.shrink(&floor).is_empty());
+}
+
+#[test]
+fn tuple_candidates_shrink_one_component_at_a_time() {
+    let strategy = (0u32..100, 0u32..100);
+    for (a, b) in strategy.shrink(&(40, 60)) {
+        assert!(
+            (a < 40 && b == 60) || (a == 40 && b < 60),
+            "({a}, {b}) changed both components"
+        );
+    }
+}
+
+#[test]
+fn greedy_loop_converges_to_the_boundary() {
+    // Emulate the runner: property fails iff v >= 10; greedy halving from
+    // any start must land exactly on 10.
+    let strategy = 0u32..1000;
+    let fails = |v: &u32| *v >= 10;
+    let mut v = 977u32;
+    assert!(fails(&v));
+    loop {
+        let Some(next) = strategy.shrink(&v).into_iter().find(&fails) else {
+            break;
+        };
+        v = next;
+    }
+    assert_eq!(v, 10);
+}
+
+// A deliberately failing property (no `#[test]` attribute: the runner fn is
+// invoked manually below so the suite itself stays green).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    fn fails_at_five_or_more(v in 0u32..1000) {
+        assert!(v < 5, "counterexample {v}");
+    }
+}
+
+#[test]
+fn runner_panics_with_the_minimal_counterexample() {
+    let result = std::panic::catch_unwind(fails_at_five_or_more);
+    let payload = result.expect_err("property must fail");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| payload.downcast_ref::<&str>().unwrap_or(&"?").to_string());
+    // Whatever value 0..1000 the seed produced, greedy halving must walk it
+    // down to the smallest failing input, 5.
+    assert_eq!(message, "counterexample 5");
+}
