@@ -69,7 +69,7 @@ fn codec_benchmarks(c: &mut Criterion) {
     let mut group = c.benchmark_group("compress");
     group.throughput(Throughput::Bytes(dataset.byte_size() as u64));
     group.sample_size(sample_size());
-    for name in ["sz", "zfp", "mgard"] {
+    for name in ["sz", "zfp", "mgard", "szx"] {
         let backend = registry::build_default(name).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(name), &dataset, |b, d| {
             b.iter(|| backend.compress(d, bound).unwrap());
@@ -80,7 +80,7 @@ fn codec_benchmarks(c: &mut Criterion) {
     let mut group = c.benchmark_group("decompress");
     group.throughput(Throughput::Bytes(dataset.byte_size() as u64));
     group.sample_size(sample_size());
-    for name in ["sz", "zfp", "mgard"] {
+    for name in ["sz", "zfp", "mgard", "szx"] {
         let backend = registry::build_default(name).unwrap();
         let compressed = backend.compress(&dataset, bound).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(name), &compressed, |b, data| {

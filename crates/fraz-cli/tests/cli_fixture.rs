@@ -139,6 +139,37 @@ fn compressor_override_and_unknown_compressor_error() {
 }
 
 #[test]
+fn szx_override_runs_the_fixture_end_to_end() {
+    let manifest = fraz_cli::load_manifest(&fixture_dir().join("manifest.toml")).unwrap();
+    let report = run(
+        &manifest,
+        &fixture_dir(),
+        &RunOverrides {
+            workers: Some(2),
+            compressor: Some("szx".to_string()),
+        },
+    )
+    .unwrap();
+
+    assert_eq!(report.rows.len(), 4);
+    assert!(report.rows.iter().all(|r| r.compressor == "szx"));
+    for row in &report.rows {
+        // SZx's achievable ratios are a coarse step function (paper §VI-B3
+        // applies even more strongly than for ZFP), so the 8:1 ratio targets
+        // may be infeasible on this fixture — but every search must still
+        // run, recommend a usable bound, and actually compress.
+        assert!(row.evaluations >= 1, "{}: no evaluations", row.field);
+        assert!(row.error_bound > 0.0, "{}: no bound", row.field);
+        assert!(row.ratio > 1.0, "{}: did not compress", row.field);
+    }
+
+    // The quality target is bound-monotone, so szx must satisfy it outright.
+    let energy = report.rows.iter().find(|r| r.field == "energy").unwrap();
+    assert_eq!(energy.feasible_steps, 1);
+    assert!(energy.psnr.unwrap() >= 60.0, "psnr {:?}", energy.psnr);
+}
+
+#[test]
 fn binary_smoke_run_writes_table_and_jsonl() {
     let out = std::env::temp_dir().join(format!("fraz_cli_smoke_{}.jsonl", std::process::id()));
     std::fs::remove_file(&out).ok();

@@ -1,20 +1,37 @@
 //! Adapters exposing the workspace codecs through the [`Compressor`] trait.
+//!
+//! Every backend sits behind a cargo feature of the same family (`sz`,
+//! `zfp`, `mgard`, `szx`, all on by default) so slim builds can drop the
+//! codec crates they do not ship.
 
 use fraz_data::{Dataset, Dims};
+#[cfg(feature = "mgard")]
 use fraz_mgard::{ErrorNorm, MgardConfig};
+#[cfg(feature = "sz")]
 use fraz_sz::SzConfig;
+#[cfg(feature = "szx")]
+use fraz_szx::SzxConfig;
+#[cfg(feature = "zfp")]
 use fraz_zfp::{ZfpConfig, ZfpMode};
 
-use crate::descriptor::{BoundKind, CodecDescriptor, DimRange, OptionDescriptor};
-use crate::options::{OptionKind, Options};
+#[cfg(feature = "mgard")]
+use crate::descriptor::DimRange;
+#[cfg(any(feature = "sz", feature = "szx"))]
+use crate::descriptor::OptionDescriptor;
+use crate::descriptor::{BoundKind, CodecDescriptor};
+#[cfg(any(feature = "sz", feature = "szx"))]
+use crate::options::OptionKind;
+use crate::options::Options;
 use crate::registry::Registry;
 use crate::{Compressor, PressioError};
 
 /// Smallest error-bound setting offered to the search, as a fraction of the
 /// field's value range (below this the codecs are effectively lossless and
 /// searching finer bounds is pointless).
+#[allow(dead_code)] // unused only when every codec feature is off
 const MIN_BOUND_FRACTION: f64 = 1e-9;
 
+#[allow(dead_code)] // unused only when every codec feature is off
 fn range_based_bounds(dataset: &Dataset) -> (f64, f64) {
     let range = dataset.stats().value_range();
     if range > 0.0 && range.is_finite() {
@@ -26,11 +43,13 @@ fn range_based_bounds(dataset: &Dataset) -> (f64, f64) {
 }
 
 /// SZ-like backend (absolute error bound).
+#[cfg(feature = "sz")]
 #[derive(Debug, Clone)]
 pub struct SzBackend {
     config: SzConfig,
 }
 
+#[cfg(feature = "sz")]
 impl SzBackend {
     /// Backend with default SZ settings.
     pub fn new() -> Self {
@@ -70,12 +89,14 @@ impl SzBackend {
     }
 }
 
+#[cfg(feature = "sz")]
 impl Default for SzBackend {
     fn default() -> Self {
         Self::new()
     }
 }
 
+#[cfg(feature = "sz")]
 impl Compressor for SzBackend {
     fn name(&self) -> &str {
         "sz"
@@ -105,9 +126,11 @@ impl Compressor for SzBackend {
 }
 
 /// ZFP-like backend in fixed-accuracy (error-bounded) mode.
+#[cfg(feature = "zfp")]
 #[derive(Debug, Clone, Default)]
 pub struct ZfpAccuracyBackend;
 
+#[cfg(feature = "zfp")]
 impl ZfpAccuracyBackend {
     /// The registry metadata for this backend.
     pub fn descriptor() -> CodecDescriptor {
@@ -117,6 +140,7 @@ impl ZfpAccuracyBackend {
     }
 }
 
+#[cfg(feature = "zfp")]
 impl Compressor for ZfpAccuracyBackend {
     fn name(&self) -> &str {
         "zfp"
@@ -146,9 +170,11 @@ impl Compressor for ZfpAccuracyBackend {
 /// The scalar parameter is the **bits-per-value rate**, not an error bound;
 /// this backend exists as the paper's baseline (Figs 1, 9, 10), not as a
 /// FRaZ search target.
+#[cfg(feature = "zfp")]
 #[derive(Debug, Clone, Default)]
 pub struct ZfpFixedRateBackend;
 
+#[cfg(feature = "zfp")]
 impl ZfpFixedRateBackend {
     /// The registry metadata for this backend (fixed-rate: not a FRaZ
     /// search target).
@@ -159,6 +185,7 @@ impl ZfpFixedRateBackend {
     }
 }
 
+#[cfg(feature = "zfp")]
 impl Compressor for ZfpFixedRateBackend {
     fn name(&self) -> &str {
         "zfp-rate"
@@ -192,11 +219,13 @@ impl Compressor for ZfpFixedRateBackend {
 }
 
 /// MGARD-like backend (∞-norm or L2-norm error control; 2-D/3-D only).
+#[cfg(feature = "mgard")]
 #[derive(Debug, Clone)]
 pub struct MgardBackend {
     norm: ErrorNorm,
 }
 
+#[cfg(feature = "mgard")]
 impl MgardBackend {
     /// ∞-norm (absolute error) backend.
     pub fn infinity() -> Self {
@@ -227,6 +256,7 @@ impl MgardBackend {
     }
 }
 
+#[cfg(feature = "mgard")]
 impl Compressor for MgardBackend {
     fn name(&self) -> &str {
         match self.norm {
@@ -270,37 +300,132 @@ impl Compressor for MgardBackend {
     }
 }
 
-/// Register the five built-in backends into a registry.
+/// SZx-like ultra-fast backend (absolute error bound).
+///
+/// Blockwise constant/unpredictable classification with IEEE-754 bit
+/// truncation — roughly an order of magnitude faster than the SZ-like
+/// backend on both paths, at the cost of lower ratios at tight bounds.
+/// Because FRaZ pays one compression per candidate bound, this backend
+/// changes the economics of the whole search.
+#[cfg(feature = "szx")]
+#[derive(Debug, Clone)]
+pub struct SzxBackend {
+    config: SzxConfig,
+}
+
+#[cfg(feature = "szx")]
+impl SzxBackend {
+    /// Backend with default SZx settings (128-value blocks).
+    pub fn new() -> Self {
+        Self {
+            config: SzxConfig::default(),
+        }
+    }
+
+    /// The registry metadata for this backend, including its option schema.
+    pub fn descriptor() -> CodecDescriptor {
+        CodecDescriptor::new("szx", BoundKind::AbsoluteError)
+            .with_summary("SZx-like ultra-fast blockwise-truncation compressor")
+            .with_option(
+                OptionDescriptor::new("szx:block_size", OptionKind::U64)
+                    .with_default(128u64)
+                    .with_range(1.0, fraz_szx::MAX_BLOCK_SIZE as f64)
+                    .with_doc("values per constant/unpredictable classification block"),
+            )
+    }
+
+    /// Backend configured from an options bag (`szx:block_size`).
+    pub fn from_options(options: &Options) -> Self {
+        let mut config = SzxConfig::default();
+        if let Some(b) = options.get_u64("szx:block_size") {
+            config.block_size = Some(b as usize);
+        }
+        Self { config }
+    }
+}
+
+#[cfg(feature = "szx")]
+impl Default for SzxBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(feature = "szx")]
+impl Compressor for SzxBackend {
+    fn name(&self) -> &str {
+        "szx"
+    }
+    fn bound_kind(&self) -> BoundKind {
+        BoundKind::AbsoluteError
+    }
+    fn supports_dims(&self, _dims: &Dims) -> bool {
+        true
+    }
+    fn bound_range(&self, dataset: &Dataset) -> (f64, f64) {
+        range_based_bounds(dataset)
+    }
+    fn compress(&self, dataset: &Dataset, error_bound: f64) -> Result<Vec<u8>, PressioError> {
+        let config = SzxConfig {
+            error_bound,
+            ..self.config.clone()
+        };
+        fraz_szx::compress(dataset, &config).map_err(|e| match e {
+            fraz_szx::SzxError::InvalidConfig(msg) => PressioError::InvalidBound(msg),
+            other => PressioError::Codec(other.to_string()),
+        })
+    }
+    fn decompress(&self, data: &[u8]) -> Result<Dataset, PressioError> {
+        fraz_szx::decompress(data).map_err(|e| PressioError::Codec(e.to_string()))
+    }
+}
+
+/// Register the built-in backends enabled by this crate's codec features
+/// (all six with the default feature set: `sz`, `zfp`, `zfp-rate`, `szx`,
+/// `mgard`, `mgard-l2`).
 ///
 /// This is the only place the workspace's own codecs touch the registry;
 /// everything else (examples, benches, FRaZ itself) goes through
 /// [`Registry::build`] like an out-of-tree codec would.
 pub fn install_builtins(registry: &mut Registry) {
+    #[cfg(not(any(feature = "sz", feature = "zfp", feature = "mgard", feature = "szx")))]
+    let _ = registry;
+    #[cfg(feature = "sz")]
     registry
         .register(SzBackend::descriptor(), |options| {
             Ok(Box::new(SzBackend::from_options(options)))
         })
         .expect("fresh registry cannot already contain sz");
+    #[cfg(feature = "zfp")]
     registry
         .register(ZfpAccuracyBackend::descriptor(), |_| {
             Ok(Box::new(ZfpAccuracyBackend))
         })
         .expect("fresh registry cannot already contain zfp");
+    #[cfg(feature = "zfp")]
     registry
         .register(ZfpFixedRateBackend::descriptor(), |_| {
             Ok(Box::new(ZfpFixedRateBackend))
         })
         .expect("fresh registry cannot already contain zfp-rate");
+    #[cfg(feature = "mgard")]
     registry
         .register(MgardBackend::infinity_descriptor(), |_| {
             Ok(Box::new(MgardBackend::infinity()))
         })
         .expect("fresh registry cannot already contain mgard");
+    #[cfg(feature = "mgard")]
     registry
         .register(MgardBackend::l2_descriptor(), |_| {
             Ok(Box::new(MgardBackend::l2()))
         })
         .expect("fresh registry cannot already contain mgard-l2");
+    #[cfg(feature = "szx")]
+    registry
+        .register(SzxBackend::descriptor(), |options| {
+            Ok(Box::new(SzxBackend::from_options(options)))
+        })
+        .expect("fresh registry cannot already contain szx");
 }
 
 #[cfg(test)]
@@ -308,6 +433,7 @@ mod tests {
     use super::*;
     use fraz_data::Dims;
 
+    #[allow(dead_code)] // unused only in slim feature combinations
     fn smooth(dims: Dims) -> Dataset {
         let n = dims.len();
         let cols = *dims.as_slice().last().unwrap();
@@ -320,6 +446,7 @@ mod tests {
         Dataset::from_f32("t", "f", 0, dims, values)
     }
 
+    #[allow(dead_code)] // unused only in slim feature combinations
     fn max_error(a: &Dataset, b: &Dataset) -> f64 {
         a.values_f64()
             .iter()
@@ -328,6 +455,7 @@ mod tests {
             .fold(0.0, f64::max)
     }
 
+    #[cfg(all(feature = "sz", feature = "zfp", feature = "mgard", feature = "szx"))]
     #[test]
     fn error_bounded_backends_roundtrip_within_bound() {
         let dataset = smooth(Dims::d2(40, 50));
@@ -335,6 +463,7 @@ mod tests {
             Box::new(SzBackend::new()),
             Box::new(ZfpAccuracyBackend),
             Box::new(MgardBackend::infinity()),
+            Box::new(SzxBackend::new()),
         ];
         for backend in &backends {
             let outcome = backend.evaluate(&dataset, 1e-3, true).unwrap();
@@ -349,6 +478,7 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "sz")]
     #[test]
     fn roundtrip_preserves_data_through_trait_object() {
         let dataset = smooth(Dims::d3(8, 12, 12));
@@ -359,6 +489,7 @@ mod tests {
         assert_eq!(restored.dims, dataset.dims);
     }
 
+    #[cfg(feature = "zfp")]
     #[test]
     fn zfp_rate_backend_controls_size_directly() {
         let dataset = smooth(Dims::d3(8, 16, 16));
@@ -376,6 +507,7 @@ mod tests {
         assert_eq!(backend.bound_kind().label(), "bits per value");
     }
 
+    #[cfg(feature = "mgard")]
     #[test]
     fn mgard_backend_rejects_1d() {
         let dataset = Dataset::from_f32("t", "f", 0, Dims::d1(64), vec![0.0; 64]);
@@ -387,6 +519,7 @@ mod tests {
         ));
     }
 
+    #[cfg(all(feature = "sz", feature = "zfp", feature = "mgard", feature = "szx"))]
     #[test]
     fn bound_ranges_are_sane() {
         let dataset = smooth(Dims::d2(30, 30));
@@ -394,6 +527,7 @@ mod tests {
             Box::new(SzBackend::new()) as Box<dyn Compressor>,
             Box::new(ZfpAccuracyBackend),
             Box::new(MgardBackend::l2()),
+            Box::new(SzxBackend::new()),
         ] {
             let (lo, hi) = backend.bound_range(&dataset);
             assert!(lo > 0.0 && lo < hi, "{}: ({lo}, {hi})", backend.name());
@@ -405,6 +539,7 @@ mod tests {
         assert!(lo > 0.0 && hi > lo);
     }
 
+    #[cfg(feature = "sz")]
     #[test]
     fn sz_backend_honours_options() {
         let opts = Options::new()
@@ -418,6 +553,7 @@ mod tests {
         assert!(outcome.quality.unwrap().max_abs_error <= 1e-3);
     }
 
+    #[cfg(all(feature = "sz", feature = "zfp", feature = "mgard", feature = "szx"))]
     #[test]
     fn descriptors_agree_with_their_backends() {
         let pairs: Vec<(CodecDescriptor, Box<dyn Compressor>)> = vec![
@@ -435,6 +571,7 @@ mod tests {
                 Box::new(MgardBackend::infinity()),
             ),
             (MgardBackend::l2_descriptor(), Box::new(MgardBackend::l2())),
+            (SzxBackend::descriptor(), Box::new(SzxBackend::new())),
         ];
         for (descriptor, backend) in &pairs {
             assert_eq!(descriptor.name, backend.name());
@@ -463,6 +600,7 @@ mod tests {
         }
     }
 
+    #[cfg(all(feature = "sz", feature = "zfp", feature = "szx"))]
     #[test]
     fn invalid_bounds_are_invalid_bound_errors() {
         let dataset = smooth(Dims::d2(10, 10));
@@ -478,5 +616,28 @@ mod tests {
             ZfpFixedRateBackend.compress(&dataset, 1000.0),
             Err(PressioError::InvalidBound(_))
         ));
+        assert!(matches!(
+            SzxBackend::new().compress(&dataset, f64::NAN),
+            Err(PressioError::InvalidBound(_))
+        ));
+    }
+
+    #[cfg(feature = "szx")]
+    #[test]
+    fn szx_backend_roundtrips_and_honours_options() {
+        let dataset = smooth(Dims::d3(8, 12, 12));
+        let backend = SzxBackend::from_options(&Options::new().with("szx:block_size", 64u64));
+        assert_eq!(backend.config.block_size, Some(64));
+        for bound in [1e-2, 1e-5] {
+            let outcome = backend.evaluate(&dataset, bound, true).unwrap();
+            assert!(outcome.quality.unwrap().max_abs_error <= bound, "{bound}");
+            assert!(outcome.compression_ratio > 1.0, "{bound}");
+        }
+        // Ultra-fast tier contract: szx must stay decompressible through the
+        // trait object like every other backend.
+        let compressed = backend.compress(&dataset, 1e-3).unwrap();
+        let restored = backend.decompress(&compressed).unwrap();
+        assert!(max_error(&dataset, &restored) <= 1e-3);
+        assert_eq!(restored.dims, dataset.dims);
     }
 }

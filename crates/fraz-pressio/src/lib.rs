@@ -10,16 +10,18 @@
 //!   setting, decompress, report the valid bound range and dimensionality
 //!   support,
 //! * [`backends`] — adapters for the SZ-like, ZFP-like (accuracy and
-//!   fixed-rate) and MGARD-like (∞-norm and L2) codecs,
+//!   fixed-rate), MGARD-like (∞-norm and L2) and SZx-like (ultra-fast)
+//!   codecs, each behind a cargo feature (`sz`, `zfp`, `mgard`, `szx`; all
+//!   on by default) so slim builds can drop codec crates,
 //! * [`descriptor`] — introspectable codec metadata: [`CodecDescriptor`]
 //!   (name, aliases, [`BoundKind`], capabilities, dimensionalities) and the
 //!   per-option schema [`OptionDescriptor`],
 //! * [`registry`] — the extensible [`registry::Registry`]: factory
 //!   registration plus validated, options-driven construction
 //!   (`Registry::build("sz", &options)`), with a process-wide default
-//!   registry pre-loaded with the five built-ins (`"sz"`, `"zfp"`,
-//!   `"zfp-rate"`, `"mgard"`, `"mgard-l2"`) that external codecs can join
-//!   at runtime,
+//!   registry pre-loaded with the feature-enabled built-ins (all six by
+//!   default: `"sz"`, `"zfp"`, `"zfp-rate"`, `"mgard"`, `"mgard-l2"`,
+//!   `"szx"`) that external codecs can join at runtime,
 //! * [`CompressionOutcome`] / [`Compressor::evaluate`] — the
 //!   compress-measure-decompress convenience FRaZ's loss function and the
 //!   experiment harness are built on.

@@ -11,9 +11,10 @@
 //! silently ignored.
 //!
 //! A process-wide default registry (lazily initialized, `parking_lot`
-//! guarded) is pre-loaded with the five built-in backends; [`register`]
-//! plugs external codecs into it without editing this crate, and the
-//! module-level [`build`]/[`describe`]/[`names`] free functions read it.
+//! guarded) is pre-loaded with the feature-enabled built-in backends (all
+//! six by default); [`register`] plugs external codecs into it without
+//! editing this crate, and the module-level [`build`]/[`describe`]/[`names`]
+//! free functions read it.
 //!
 //! # Registering an out-of-tree codec
 //!
@@ -220,8 +221,9 @@ impl Registry {
         Self::default()
     }
 
-    /// A registry pre-loaded with the five built-in backends (`"sz"`,
-    /// `"zfp"`, `"zfp-rate"`, `"mgard"`, `"mgard-l2"`).
+    /// A registry pre-loaded with the built-in backends the crate's codec
+    /// features enable — with the default feature set: `"sz"`, `"zfp"`,
+    /// `"zfp-rate"`, `"mgard"`, `"mgard-l2"`, `"szx"`.
     pub fn with_builtins() -> Self {
         let mut registry = Self::empty();
         crate::backends::install_builtins(&mut registry);
@@ -448,19 +450,146 @@ pub fn compressor_with_options(name: &str, options: &Options) -> Option<Box<dyn 
     build(name, options).ok()
 }
 
+/// Tests that run under any feature combination (the slim-build CI job
+/// exercises `--no-default-features --features szx`).
 #[cfg(test)]
+mod feature_independent_tests {
+    use super::*;
+    use crate::descriptor::BoundKind;
+
+    struct NullCodec;
+    impl Compressor for NullCodec {
+        fn name(&self) -> &str {
+            "null"
+        }
+        fn supports_dims(&self, _dims: &fraz_data::Dims) -> bool {
+            true
+        }
+        fn bound_range(&self, _dataset: &fraz_data::Dataset) -> (f64, f64) {
+            (1e-9, 1.0)
+        }
+        fn compress(
+            &self,
+            _dataset: &fraz_data::Dataset,
+            _bound: f64,
+        ) -> Result<Vec<u8>, PressioError> {
+            Ok(Vec::new())
+        }
+        fn decompress(&self, _data: &[u8]) -> Result<fraz_data::Dataset, PressioError> {
+            Err(PressioError::Codec("null codec".into()))
+        }
+    }
+
+    #[test]
+    fn with_builtins_matches_enabled_features() {
+        let registry = Registry::with_builtins();
+        assert_eq!(registry.contains("sz"), cfg!(feature = "sz"));
+        assert_eq!(registry.contains("zfp"), cfg!(feature = "zfp"));
+        assert_eq!(registry.contains("zfp-rate"), cfg!(feature = "zfp"));
+        assert_eq!(registry.contains("mgard"), cfg!(feature = "mgard"));
+        assert_eq!(registry.contains("mgard-l2"), cfg!(feature = "mgard"));
+        assert_eq!(registry.contains("szx"), cfg!(feature = "szx"));
+    }
+
+    #[test]
+    fn aliases_resolve_to_the_canonical_codec() {
+        let mut registry = Registry::empty();
+        registry
+            .register(
+                CodecDescriptor::new("real", BoundKind::AbsoluteError).with_alias("nickname"),
+                |_| Ok(Box::new(NullCodec)),
+            )
+            .unwrap();
+        assert!(registry.contains("nickname"));
+        assert_eq!(registry.describe("nickname").unwrap().name, "real");
+        assert!(registry.build("nickname", &Options::new()).is_ok());
+        // Aliases do not appear among canonical names.
+        assert_eq!(registry.names(), vec!["real".to_string()]);
+    }
+
+    #[test]
+    fn factory_errors_surface_as_construction_errors() {
+        let mut registry = Registry::empty();
+        registry
+            .register(
+                CodecDescriptor::new("broken", BoundKind::AbsoluteError),
+                |_| Err(PressioError::Codec("always fails".into())),
+            )
+            .unwrap();
+        let err = registry.build("broken", &Options::new()).err().unwrap();
+        match &err {
+            RegistryError::Construction { codec, source } => {
+                assert_eq!(codec, "broken");
+                assert!(matches!(source, PressioError::Codec(_)));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        assert!(err.to_string().contains("always fails"));
+    }
+
+    #[test]
+    fn error_displays_are_actionable() {
+        let err = RegistryError::UnknownOption {
+            codec: "sz".into(),
+            key: "sz:blok_size".into(),
+            suggestion: Some("sz:block_size".into()),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("sz:blok_size") && msg.contains("did you mean"));
+        let err = RegistryError::TypeMismatch {
+            codec: "sz".into(),
+            key: "sz:block_size".into(),
+            expected: OptionKind::U64,
+            actual: OptionKind::Str,
+        };
+        assert!(err.to_string().contains("expects a u64 value, got string"));
+        let err = RegistryError::OutOfRange {
+            codec: "sz".into(),
+            key: "sz:block_size".into(),
+            value: 99.0,
+            range: (1.0, 64.0),
+        };
+        assert!(err.to_string().contains("[1, 64]"));
+        let err = RegistryError::UnknownCodec {
+            name: "zzz".into(),
+            suggestion: None,
+        };
+        assert!(err.to_string().contains("zzz"));
+        assert!(RegistryError::DuplicateName { name: "x".into() }
+            .to_string()
+            .contains("already registered"));
+    }
+
+    #[test]
+    fn empty_registry_reports_unknown_without_suggestion() {
+        let registry = Registry::empty();
+        assert!(registry.is_empty());
+        match registry.build("sz", &Options::new()).err().unwrap() {
+            RegistryError::UnknownCodec { suggestion, .. } => assert!(suggestion.is_none()),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+}
+
+#[cfg(all(
+    test,
+    feature = "sz",
+    feature = "zfp",
+    feature = "mgard",
+    feature = "szx"
+))]
 mod tests {
     use super::*;
     use crate::backends::{SzBackend, ZfpAccuracyBackend};
     use crate::descriptor::{BoundKind, DimRange};
     use fraz_data::{Dataset, Dims};
 
-    const BUILTINS: [&str; 5] = ["sz", "zfp", "zfp-rate", "mgard", "mgard-l2"];
+    const BUILTINS: [&str; 6] = ["sz", "zfp", "zfp-rate", "mgard", "mgard-l2", "szx"];
 
     #[test]
     fn builtins_construct_and_describe() {
         let registry = Registry::with_builtins();
-        assert_eq!(registry.len(), 5);
+        assert_eq!(registry.len(), 6);
         assert!(!registry.is_empty());
         for name in BUILTINS {
             let codec = registry.build(name, &Options::new()).unwrap();
@@ -494,6 +623,7 @@ mod tests {
         let eb = registry.error_bounded_names();
         assert!(eb.contains(&"sz".to_string()));
         assert!(eb.contains(&"zfp".to_string()));
+        assert!(eb.contains(&"szx".to_string()));
         assert!(!eb.contains(&"zfp-rate".to_string()));
         for name in &eb {
             assert!(registry.contains(name));
@@ -588,43 +718,7 @@ mod tests {
             )
             .unwrap_err();
         assert_eq!(err, RegistryError::DuplicateName { name: "zfp".into() });
-        assert_eq!(registry.len(), 5, "failed registrations must not leak");
-    }
-
-    #[test]
-    fn aliases_resolve_to_the_canonical_codec() {
-        let mut registry = Registry::empty();
-        registry
-            .register(
-                CodecDescriptor::new("real", BoundKind::AbsoluteError).with_alias("nickname"),
-                |_| Ok(Box::new(SzBackend::new())),
-            )
-            .unwrap();
-        assert!(registry.contains("nickname"));
-        assert_eq!(registry.describe("nickname").unwrap().name, "real");
-        assert!(registry.build("nickname", &Options::new()).is_ok());
-        // Aliases do not appear among canonical names.
-        assert_eq!(registry.names(), vec!["real".to_string()]);
-    }
-
-    #[test]
-    fn factory_errors_surface_as_construction_errors() {
-        let mut registry = Registry::empty();
-        registry
-            .register(
-                CodecDescriptor::new("broken", BoundKind::AbsoluteError),
-                |_| Err(PressioError::Codec("always fails".into())),
-            )
-            .unwrap();
-        let err = registry.build("broken", &Options::new()).err().unwrap();
-        match &err {
-            RegistryError::Construction { codec, source } => {
-                assert_eq!(codec, "broken");
-                assert!(matches!(source, PressioError::Codec(_)));
-            }
-            other => panic!("wrong error: {other}"),
-        }
-        assert!(err.to_string().contains("always fails"));
+        assert_eq!(registry.len(), 6, "failed registrations must not leak");
     }
 
     #[test]
@@ -700,39 +794,6 @@ mod tests {
     }
 
     #[test]
-    fn error_displays_are_actionable() {
-        let err = RegistryError::UnknownOption {
-            codec: "sz".into(),
-            key: "sz:blok_size".into(),
-            suggestion: Some("sz:block_size".into()),
-        };
-        let msg = err.to_string();
-        assert!(msg.contains("sz:blok_size") && msg.contains("did you mean"));
-        let err = RegistryError::TypeMismatch {
-            codec: "sz".into(),
-            key: "sz:block_size".into(),
-            expected: OptionKind::U64,
-            actual: OptionKind::Str,
-        };
-        assert!(err.to_string().contains("expects a u64 value, got string"));
-        let err = RegistryError::OutOfRange {
-            codec: "sz".into(),
-            key: "sz:block_size".into(),
-            value: 99.0,
-            range: (1.0, 64.0),
-        };
-        assert!(err.to_string().contains("[1, 64]"));
-        let err = RegistryError::UnknownCodec {
-            name: "zzz".into(),
-            suggestion: None,
-        };
-        assert!(err.to_string().contains("zzz"));
-        assert!(RegistryError::DuplicateName { name: "x".into() }
-            .to_string()
-            .contains("already registered"));
-    }
-
-    #[test]
     fn descriptor_option_schemas_document_the_builtins() {
         let registry = Registry::with_builtins();
         let sz = registry.describe("sz").unwrap();
@@ -748,15 +809,10 @@ mod tests {
             registry.describe("mgard").unwrap().dims,
             DimRange::new(2, 3)
         );
-    }
-
-    #[test]
-    fn empty_registry_reports_unknown_without_suggestion() {
-        let registry = Registry::empty();
-        assert!(registry.is_empty());
-        match registry.build("sz", &Options::new()).err().unwrap() {
-            RegistryError::UnknownCodec { suggestion, .. } => assert!(suggestion.is_none()),
-            other => panic!("wrong error: {other}"),
-        }
+        // The szx knob is introspectable with a default and a range.
+        let szx = registry.describe("szx").unwrap();
+        let block = szx.option("szx:block_size").unwrap();
+        assert_eq!(block.kind, OptionKind::U64);
+        assert!(block.default.is_some() && block.range.is_some());
     }
 }

@@ -1,0 +1,187 @@
+//! Dense fixed-width bit packing for the truncation payload.
+//!
+//! The kept width is constant across a block, so the hot loops here are
+//! branch-light by construction: the writer keeps a 64-bit accumulator and
+//! spills whole little-endian words, the reader serves every read from one
+//! (occasionally two) unaligned 8-byte loads off an absolute bit cursor.
+//! Bits are packed LSB-first; widths of 0 and 64 are both valid.
+//!
+//! The reader performs **no per-value bounds checks** — callers must
+//! validate the payload length against the total bit count up front (the
+//! decoder does exactly that), after which reads can only touch the final
+//! zero-padded byte.
+
+/// LSB-first bit writer spilling whole 64-bit words.
+pub struct PackWriter {
+    buf: Vec<u8>,
+    acc: u64,
+    /// Valid low bits of `acc`, always < 64 between calls.
+    nbits: u32,
+}
+
+impl PackWriter {
+    /// Writer with room for `bits` bits reserved.
+    pub fn with_bit_capacity(bits: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(bits / 8 + 8),
+            acc: 0,
+            nbits: 0,
+        }
+    }
+
+    /// Append the low `width` bits of `value` (`width` ≤ 64; the unused high
+    /// bits of `value` must be zero).
+    #[inline]
+    pub fn push(&mut self, value: u64, width: u32) {
+        debug_assert!(width <= 64);
+        debug_assert!(width == 64 || value >> width == 0);
+        self.acc |= value << self.nbits;
+        self.nbits += width;
+        if self.nbits >= 64 {
+            self.buf.extend_from_slice(&self.acc.to_le_bytes());
+            self.nbits -= 64;
+            let spilled = width - self.nbits;
+            self.acc = if spilled >= 64 { 0 } else { value >> spilled };
+        }
+    }
+
+    /// Total bits pushed so far.
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 + self.nbits as usize
+    }
+
+    /// Finish and return the packed bytes (final partial byte zero-padded
+    /// on the high side).
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        while self.nbits > 0 {
+            self.buf.push(self.acc as u8);
+            self.acc >>= 8;
+            self.nbits = self.nbits.saturating_sub(8);
+        }
+        self.buf
+    }
+}
+
+/// LSB-first bit reader over a length-validated payload.
+pub struct PackReader<'a> {
+    data: &'a [u8],
+    bit_pos: usize,
+}
+
+impl<'a> PackReader<'a> {
+    /// Wrap a payload slice.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, bit_pos: 0 }
+    }
+
+    /// Unaligned little-endian 8-byte load, zero-padded past the end.
+    #[inline]
+    fn load(&self, byte: usize) -> u64 {
+        if byte + 8 <= self.data.len() {
+            u64::from_le_bytes(self.data[byte..byte + 8].try_into().expect("8-byte slice"))
+        } else {
+            let mut tmp = [0u8; 8];
+            if byte < self.data.len() {
+                tmp[..self.data.len() - byte].copy_from_slice(&self.data[byte..]);
+            }
+            u64::from_le_bytes(tmp)
+        }
+    }
+
+    /// Read the next `width` bits (`width` ≤ 64) into the low bits of a
+    /// `u64`.  The caller guarantees the payload holds them (see module
+    /// docs).
+    #[inline]
+    pub fn read(&mut self, width: u32) -> u64 {
+        debug_assert!(width <= 64);
+        let byte = self.bit_pos >> 3;
+        let shift = (self.bit_pos & 7) as u32;
+        self.bit_pos += width as usize;
+        let lo = self.load(byte) >> shift;
+        let avail = 64 - shift;
+        let value = if width <= avail {
+            lo
+        } else {
+            lo | (self.load(byte + 8) << avail)
+        };
+        if width == 64 {
+            value
+        } else {
+            value & ((1u64 << width) - 1)
+        }
+    }
+
+    /// Bits consumed so far.
+    pub fn bits_consumed(&self) -> usize {
+        self.bit_pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state
+    }
+
+    #[test]
+    fn mixed_width_roundtrip() {
+        let mut state = 0xFEED_5EED_u64;
+        let fields: Vec<(u64, u32)> = (0..10_000)
+            .map(|_| {
+                let r = lcg(&mut state);
+                let width = (r >> 58) as u32; // 0..=63
+                let value = if width == 0 {
+                    0
+                } else {
+                    lcg(&mut state) & ((1u64 << width) - 1)
+                };
+                (value, width)
+            })
+            .collect();
+        let mut w = PackWriter::with_bit_capacity(0);
+        for &(v, n) in &fields {
+            w.push(v, n);
+        }
+        let total: usize = fields.iter().map(|&(_, n)| n as usize).sum();
+        assert_eq!(w.bit_len(), total);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), total.div_ceil(8));
+        let mut r = PackReader::new(&bytes);
+        for &(v, n) in &fields {
+            assert_eq!(r.read(n), v, "width {n}");
+        }
+        assert_eq!(r.bits_consumed(), total);
+    }
+
+    #[test]
+    fn full_width_values_roundtrip() {
+        let values = [0u64, u64::MAX, 0x0123_4567_89AB_CDEF, 1 << 63];
+        let mut w = PackWriter::with_bit_capacity(256);
+        // Offset by 3 bits so the 64-bit reads straddle words.
+        w.push(0b101, 3);
+        for &v in &values {
+            w.push(v, 64);
+        }
+        let bytes = w.into_bytes();
+        let mut r = PackReader::new(&bytes);
+        assert_eq!(r.read(3), 0b101);
+        for &v in &values {
+            assert_eq!(r.read(64), v);
+        }
+    }
+
+    #[test]
+    fn tail_reads_are_zero_padded_not_panics() {
+        let mut w = PackWriter::with_bit_capacity(16);
+        w.push(0x3FF, 10);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = PackReader::new(&bytes);
+        assert_eq!(r.read(10), 0x3FF);
+    }
+}

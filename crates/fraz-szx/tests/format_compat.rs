@@ -1,0 +1,180 @@
+//! Wire-format regression fixtures: the committed `.szx` payloads under
+//! `tests/fixtures/` pin the exact bytes the encoder produces, so later
+//! optimization passes (SIMD truncation, different spill strategies, …)
+//! cannot silently change the on-disk format.
+//!
+//! The raw inputs are deterministic (fixed formulas / seeded LCG) so only
+//! the compressed payloads need committing.  To regenerate after an
+//! *intentional, versioned* format change (which also requires a new
+//! version byte):
+//!
+//! ```text
+//! cargo test -p fraz-szx --test format_compat -- --ignored regenerate
+//! ```
+
+use std::path::PathBuf;
+
+use fraz_data::{DataBuffer, Dataset, Dims};
+use fraz_szx::{compress, decompress, SzxConfig};
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn read_fixture(name: &str) -> Vec<u8> {
+    let path = fixture_dir().join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()))
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic inputs (identical across versions by construction).
+
+fn wave_f32() -> Dataset {
+    let dims = Dims::d3(12, 15, 17);
+    let values: Vec<f32> = (0..dims.len())
+        .map(|i| {
+            let x = i as f32;
+            (x * 0.013).sin() * 5.0 + (x * 0.0007).cos() * 20.0
+        })
+        .collect();
+    Dataset::from_f32("fixture", "wave32", 3, dims, values)
+}
+
+fn wave_f64() -> Dataset {
+    let values: Vec<f64> = (0..3000).map(|i| (i as f64 * 0.01).sin() * 1e6).collect();
+    Dataset::from_f64("fixture", "wave64", 0, Dims::d1(3000), values)
+}
+
+fn constant_f32() -> Dataset {
+    Dataset::from_f32("fixture", "flat", 1, Dims::d2(48, 48), vec![3.25; 48 * 48])
+}
+
+fn nonfinite_f32() -> Dataset {
+    let mut values: Vec<f32> = (0..400).map(|i| (i as f32 * 0.1).sin()).collect();
+    values[7] = f32::NAN;
+    values[200] = f32::INFINITY;
+    values[201] = f32::NEG_INFINITY;
+    Dataset::from_f32("fixture", "holes", 0, Dims::d1(400), values)
+}
+
+fn subnormal_f32() -> Dataset {
+    let values: Vec<f32> = (0..256)
+        .map(|i| f32::from_bits(1 + (i as u32 * 977) % 0x007f_ffff))
+        .collect();
+    Dataset::from_f32("fixture", "tiny", 0, Dims::d1(256), values)
+}
+
+fn fixtures() -> Vec<(&'static str, Dataset, SzxConfig)> {
+    vec![
+        (
+            "wave_f32_eb1e-3.szx",
+            wave_f32(),
+            SzxConfig::with_error_bound(1e-3),
+        ),
+        (
+            "wave_f32_eb1e-6_block64.szx",
+            wave_f32(),
+            SzxConfig {
+                error_bound: 1e-6,
+                block_size: Some(64),
+            },
+        ),
+        (
+            "wave_f64_eb1e-9.szx",
+            wave_f64(),
+            SzxConfig::with_error_bound(1e-9),
+        ),
+        (
+            "constant_f32_eb1e-6.szx",
+            constant_f32(),
+            SzxConfig::with_error_bound(1e-6),
+        ),
+        (
+            "nonfinite_f32_eb1e-3.szx",
+            nonfinite_f32(),
+            SzxConfig::with_error_bound(1e-3),
+        ),
+        (
+            "subnormal_f32_eb1e-40.szx",
+            subnormal_f32(),
+            SzxConfig::with_error_bound(1e-40),
+        ),
+    ]
+}
+
+fn max_error(a: &Dataset, b: &Dataset) -> f64 {
+    a.values_f64()
+        .iter()
+        .zip(b.values_f64().iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+// ---------------------------------------------------------------------------
+// The compatibility assertions.
+
+#[test]
+fn current_encoder_reproduces_fixtures_byte_for_byte() {
+    for (name, dataset, config) in fixtures() {
+        let encoded = compress(&dataset, &config).unwrap();
+        let committed = read_fixture(name);
+        assert_eq!(
+            encoded, committed,
+            "fixture {name}: the encoder's output bytes changed — this is a \
+             wire-format break and needs a version bump plus regeneration"
+        );
+    }
+}
+
+#[test]
+fn fixtures_decode_within_their_bound_with_metadata() {
+    for (name, dataset, config) in fixtures() {
+        let restored = decompress(&read_fixture(name))
+            .unwrap_or_else(|e| panic!("fixture {name} failed to decode: {e}"));
+        assert_eq!(restored.dims, dataset.dims, "{name}");
+        assert_eq!(restored.dtype(), dataset.dtype(), "{name}");
+        assert_eq!(restored.application, dataset.application, "{name}");
+        assert_eq!(restored.field, dataset.field, "{name}");
+        assert_eq!(restored.timestep, dataset.timestep, "{name}");
+        let worst = max_error(&dataset, &restored);
+        assert!(
+            worst <= config.error_bound,
+            "{name}: max error {worst:e} > bound {:e}",
+            config.error_bound
+        );
+    }
+}
+
+#[test]
+fn constant_fixture_is_tiny_and_exact() {
+    let restored = decompress(&read_fixture("constant_f32_eb1e-6.szx")).unwrap();
+    assert_eq!(restored.buffer, constant_f32().buffer, "constant drifted");
+    assert!(read_fixture("constant_f32_eb1e-6.szx").len() < 512);
+}
+
+#[test]
+fn nonfinite_fixture_round_trips_specials_bit_exactly() {
+    let restored = decompress(&read_fixture("nonfinite_f32_eb1e-3.szx")).unwrap();
+    let original = nonfinite_f32();
+    let (DataBuffer::F32(a), DataBuffer::F32(b)) = (&original.buffer, &restored.buffer) else {
+        panic!("dtype changed");
+    };
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        if !x.is_finite() {
+            assert_eq!(x.to_bits(), y.to_bits(), "special value at [{i}] changed");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regeneration (run explicitly; see module docs).
+
+#[test]
+#[ignore = "writes fixtures; run only for an intentional format change"]
+fn regenerate() {
+    let dir = fixture_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, dataset, config) in fixtures() {
+        std::fs::write(dir.join(name), compress(&dataset, &config).unwrap()).unwrap();
+    }
+}

@@ -14,6 +14,14 @@ Usage:
     perf_smoke_check.py RECORDED.jsonl BASELINE.jsonl \
         [--group lossless_dictionary] [--id lzss_compress] \
         [--max-regression 0.40]
+
+A second mode asserts a *relative* speedup between two rows of the same
+recorded file (so both sides ran on the same machine, same run — machine
+noise cancels).  This pins design-level performance promises, e.g. that the
+SZx-style backend stays ≥5× faster than SZ at compression:
+
+    perf_smoke_check.py RECORDED.jsonl BASELINE.jsonl \
+        --group compress --id szx --speedup-vs-id sz --min-speedup 5.0
 """
 
 import argparse
@@ -50,6 +58,23 @@ def main():
         default=0.40,
         help="tolerated fractional drop below the baseline (default 0.40)",
     )
+    parser.add_argument(
+        "--speedup-vs-id",
+        default=None,
+        help="also require the recorded row to be --min-speedup times faster "
+        "than this row (same group, same recorded file)",
+    )
+    parser.add_argument(
+        "--speedup-vs-group",
+        default=None,
+        help="group of the --speedup-vs-id row (default: --group)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="required speedup multiple for --speedup-vs-id (default 5.0)",
+    )
     args = parser.parse_args()
 
     recorded = load_row(args.recorded, args.group, args.bench_id)
@@ -67,6 +92,22 @@ def main():
             f"error: {name} regressed more than "
             f"{args.max_regression:.0%} below the committed baseline"
         )
+
+    if args.speedup_vs_id is not None:
+        vs_group = args.speedup_vs_group or args.group
+        reference = load_row(args.recorded, vs_group, args.speedup_vs_id)
+        speedup = recorded["mib_per_s"] / reference["mib_per_s"]
+        print(
+            f"{name} vs {vs_group}/{args.speedup_vs_id}: "
+            f"{speedup:.1f}x (required >= {args.min_speedup:.1f}x)"
+        )
+        if speedup < args.min_speedup:
+            sys.exit(
+                f"error: {name} is only {speedup:.1f}x faster than "
+                f"{vs_group}/{args.speedup_vs_id} "
+                f"(required {args.min_speedup:.1f}x)"
+            )
+
     print("ok")
 
 

@@ -16,6 +16,7 @@
 //! * [`zfp`] — a ZFP-like block-transform compressor with fixed-accuracy and
 //!   fixed-rate modes.
 //! * [`mgard`] — an MGARD-like multilevel compressor.
+//! * [`szx`] — an SZx-like ultra-fast blockwise-truncation compressor.
 //! * [`pressio`] — the libpressio-like abstraction layer over compressors:
 //!   the [`Compressor`] trait, the extensible [`Registry`] with
 //!   introspectable [`CodecDescriptor`]s, and validated [`Options`].
@@ -28,6 +29,10 @@
 //! The most commonly used registry types are re-exported at the crate root
 //! ([`Registry`], [`CodecDescriptor`], [`OptionDescriptor`], [`BoundKind`],
 //! [`Options`], [`RegistryError`], [`Compressor`]).
+//!
+//! Each codec crate (and its registry backend) sits behind a cargo feature
+//! of the same name — `sz`, `zfp`, `mgard`, `szx`, all on by default — so
+//! slim builds can drop the compressors they do not ship.
 //!
 //! ## Quick start
 //!
@@ -68,10 +73,15 @@ pub use fraz_core as core;
 pub use fraz_data as data;
 pub use fraz_lossless as lossless;
 pub use fraz_metrics as metrics;
+#[cfg(feature = "mgard")]
 pub use fraz_mgard as mgard;
 pub use fraz_pool as pool;
 pub use fraz_pressio as pressio;
+#[cfg(feature = "sz")]
 pub use fraz_sz as sz;
+#[cfg(feature = "szx")]
+pub use fraz_szx as szx;
+#[cfg(feature = "zfp")]
 pub use fraz_zfp as zfp;
 
 pub use fraz_pressio::{

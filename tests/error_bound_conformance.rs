@@ -1,0 +1,176 @@
+//! Cross-codec error-bound conformance: the contract every FRaZ search
+//! target must honour is `max_i |x_i − x̂_i| ≤ e` for the requested bound
+//! `e` — a fast-but-wrong codec would silently corrupt every search result.
+//!
+//! The suite loops over **every** error-bounded codec in the default
+//! registry, so a future backend is covered the moment it registers; it
+//! never hard-codes codec names.  Fields are proptest-generated in 1-D, 2-D
+//! and 3-D at several amplitudes, in both f32 and f64, and each codec is
+//! exercised across a log-spaced grid of absolute bounds down to 1e-12.
+//!
+//! The assertion is keyed on the codec's [`BoundKind`]: max-error kinds
+//! (absolute error, accuracy tolerance, ∞-norm) must bound the element-wise
+//! worst case; the L2-norm kind bounds the RMS error instead (it makes no
+//! pointwise promise).
+
+use proptest::prelude::*;
+
+use fraz::data::{Dataset, Dims};
+use fraz::pressio::{registry, BoundKind};
+
+/// Log-spaced absolute bounds; the tightest settings force the codecs into
+/// their exact/lossless fallback paths, which must *still* conform.
+const BOUNDS: [f64; 6] = [1e-1, 1e-3, 1e-5, 1e-7, 1e-9, 1e-12];
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state
+}
+
+/// A synthetic field mixing smooth waves, low-amplitude noise, and flat
+/// plateaus, so blockwise codecs see constant, predictable and
+/// unpredictable regions in one dataset.
+fn synth(n: usize, mut seed: u64, amplitude: f64) -> Vec<f64> {
+    seed |= 1;
+    (0..n)
+        .map(|i| {
+            let noise = (lcg(&mut seed) >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            if (i / 97) % 5 == 0 {
+                amplitude * 0.25
+            } else {
+                let x = i as f64;
+                ((x * 0.021).sin() + 0.5 * (x * 0.0013).cos() + 0.01 * noise) * amplitude
+            }
+        })
+        .collect()
+}
+
+/// Dims with ~`n` points at the requested dimensionality.
+fn dims_for(ndims: usize, size_seed: u64) -> Dims {
+    let w = 12 + (size_seed % 9) as usize; // 12..=20
+    match ndims {
+        1 => Dims::d1(w * w * w),
+        2 => Dims::d2(w * w / 2, 2 * w),
+        _ => Dims::d3(w, w, w),
+    }
+}
+
+/// Compress + decompress `dataset` with every error-bounded registry codec
+/// at every grid bound, asserting the codec's conformance contract
+/// element-wise on the round-tripped values.
+fn assert_all_codecs_conform(dataset: &Dataset) {
+    let names = registry::error_bounded_names();
+    assert!(
+        names.len() >= 4,
+        "expected at least sz/zfp/mgard/szx to be registered, got {names:?}"
+    );
+    for name in names {
+        let codec = registry::build_default(&name)
+            .unwrap_or_else(|e| panic!("building {name} failed: {e}"));
+        if !codec.supports_dims(&dataset.dims) {
+            continue;
+        }
+        for bound in BOUNDS {
+            let compressed = codec
+                .compress(dataset, bound)
+                .unwrap_or_else(|e| panic!("{name} at bound {bound:e}: compress failed: {e}"));
+            let restored = codec
+                .decompress(&compressed)
+                .unwrap_or_else(|e| panic!("{name} at bound {bound:e}: decompress failed: {e}"));
+            assert_eq!(restored.dims, dataset.dims, "{name} at bound {bound:e}");
+            assert_eq!(
+                restored.dtype(),
+                dataset.dtype(),
+                "{name} at bound {bound:e}"
+            );
+
+            let original = dataset.values_f64();
+            let recovered = restored.values_f64();
+            assert_eq!(recovered.len(), original.len(), "{name} at bound {bound:e}");
+            match codec.bound_kind() {
+                BoundKind::AbsoluteError
+                | BoundKind::AccuracyTolerance
+                | BoundKind::InfinityNorm => {
+                    for (i, (x, y)) in original.iter().zip(recovered.iter()).enumerate() {
+                        let err = (x - y).abs();
+                        assert!(
+                            err <= bound,
+                            "{name} at bound {bound:e}: |x[{i}] - x̂[{i}]| = {err:e} \
+                             (x = {x}, x̂ = {y})"
+                        );
+                    }
+                }
+                BoundKind::L2Norm => {
+                    let mse = original
+                        .iter()
+                        .zip(recovered.iter())
+                        .map(|(x, y)| (x - y) * (x - y))
+                        .sum::<f64>()
+                        / original.len() as f64;
+                    let rmse = mse.sqrt();
+                    // The RMS is an n-term floating-point aggregate, so the
+                    // comparison tolerates summation-order roundoff (relative
+                    // 1e-9); the pointwise kinds above stay exact.
+                    assert!(
+                        rmse <= bound * (1.0 + 1e-9),
+                        "{name} at bound {bound:e}: rmse = {rmse:e}"
+                    );
+                }
+                other => panic!("{name}: unexpected bound kind {other:?} in error-bounded set"),
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case sweeps every codec × every bound, so a handful of cases
+    // already covers hundreds of (codec, field, bound) combinations.
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn f32_fields_conform(
+        ndims in 1usize..=3,
+        size_seed in 0u64..1000,
+        amp_exp in -2i32..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let dims = dims_for(ndims, size_seed);
+        let amplitude = 10f64.powi(amp_exp);
+        let values: Vec<f32> = synth(dims.len(), seed, amplitude)
+            .into_iter()
+            .map(|v| v as f32)
+            .collect();
+        let dataset = Dataset::from_f32("conformance", "f32", 0, dims, values);
+        assert_all_codecs_conform(&dataset);
+    }
+
+    #[test]
+    fn f64_fields_conform(
+        ndims in 1usize..=3,
+        size_seed in 0u64..1000,
+        amp_exp in -2i32..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let dims = dims_for(ndims, size_seed);
+        let amplitude = 10f64.powi(amp_exp);
+        let values = synth(dims.len(), seed, amplitude);
+        let dataset = Dataset::from_f64("conformance", "f64", 0, dims, values);
+        assert_all_codecs_conform(&dataset);
+    }
+}
+
+/// Constant and degenerate fields are the classic codec edge cases; pin
+/// them deterministically on top of the property sweep.
+#[test]
+fn degenerate_fields_conform() {
+    for values in [vec![0.0f64; 4096], vec![-7.25; 4096], {
+        let mut v = vec![1.0; 4096];
+        v[0] = -1.0; // one outlier in a constant sea
+        v
+    }] {
+        let dataset = Dataset::from_f64("conformance", "degenerate", 0, Dims::d2(64, 64), values);
+        assert_all_codecs_conform(&dataset);
+    }
+}

@@ -17,7 +17,15 @@ fn every_registered_compressor_hits_the_ratio_window() {
     // codec families (MGARD rejects 1-D).
     let dataset = synthetic::hurricane(8, 16, 16, 1, 13).field("TCf", 0);
 
-    for (name, target, tolerance) in [("sz", 8.0, 0.10), ("zfp", 8.0, 0.25), ("mgard", 8.0, 0.10)] {
+    // SZx's ratio curve is the coarsest: non-constant f32 blocks keep at
+    // least 9 of 32 bits (≤3.6:1) and constant blocks jump to ~52:1 on this
+    // field, so it gets a 2:1 target inside its smooth low-ratio regime.
+    for (name, target, tolerance) in [
+        ("sz", 8.0, 0.10),
+        ("zfp", 8.0, 0.25),
+        ("mgard", 8.0, 0.10),
+        ("szx", 2.0, 0.10),
+    ] {
         let compressor = registry::build_default(name)
             .unwrap_or_else(|e| panic!("registry must know {name}: {e}"));
         let config = SearchConfig::new(target, tolerance)
