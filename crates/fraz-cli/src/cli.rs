@@ -19,6 +19,7 @@ const USAGE: &str = "fraz — fixed-ratio lossy compression over dataset manifes
 USAGE:
     fraz run --config <manifest.toml|json> [OPTIONS]
     fraz validate --config <manifest.toml|json>
+    fraz store <create|info|read> [OPTIONS]   (see `fraz store help`)
     fraz codecs
     fraz help
 
@@ -256,6 +257,7 @@ pub fn run_cli(args: &[String]) -> u8 {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
+        Some("store") => crate::store_cmd::run_store(&args[1..]),
         Some("codecs") => cmd_codecs(),
         Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");

@@ -16,7 +16,9 @@
 //! * [`config`] — extension-dispatched manifest loading,
 //! * [`runner`] — manifest → orchestrator/quality-search execution,
 //! * [`report`] — per-field rows, the aligned table, JSONL records,
-//! * [`cli`] — argument parsing and the `run`/`validate`/`codecs`
+//! * [`store_cmd`] — the `store create`/`info`/`read` subcommands over
+//!   [`fraz_store`] container directories,
+//! * [`cli`] — argument parsing and the `run`/`validate`/`codecs`/`store`
 //!   subcommands.
 //!
 //! The manifest schema itself lives in [`fraz_data::manifest`] so library
@@ -26,6 +28,7 @@ pub mod cli;
 pub mod config;
 pub mod report;
 pub mod runner;
+pub mod store_cmd;
 pub mod toml;
 
 pub use cli::run_cli;

@@ -234,3 +234,77 @@ fn malformed_manifest_is_reported_readably() {
     assert!(stderr.contains("1 to 4 axes"), "{stderr}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn store_create_info_read_round_trip() {
+    let dir = std::env::temp_dir().join(format!("fraz_cli_store_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store_dir = dir.join("store");
+    let manifest = fixture_dir().join("manifest.toml");
+
+    // create: every field/time-step becomes one container object.
+    let output = Command::new(env!("CARGO_BIN_EXE_fraz"))
+        .args([
+            "store",
+            "create",
+            "--config",
+            manifest.to_str().unwrap(),
+            "--store",
+            store_dir.to_str().unwrap(),
+            "--chunk",
+            "3x8x8",
+            "--compressor",
+            "szx",
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "stdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    // --chunk is 3-D and applies to the rank-3 fields; the 2-D/1-D fields
+    // fall back to the default chunk shape (noted on stderr).
+    assert!(stdout.contains("temp/t0"), "{stdout}");
+    assert!(stdout.contains("pressure/t0"), "{stdout}");
+    assert!(stdout.contains("energy/t0"), "{stdout}");
+    let note = String::from_utf8_lossy(&output.stderr);
+    assert!(note.contains("rank does not match"), "{note}");
+
+    // info lists every object without decoding payloads.
+    let output = Command::new(env!("CARGO_BIN_EXE_fraz"))
+        .args(["store", "info", "--store", store_dir.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("temp/t1"), "{stdout}");
+
+    // read a subregion out as raw bytes.
+    let out = dir.join("slab.f32");
+    let output = Command::new(env!("CARGO_BIN_EXE_fraz"))
+        .args([
+            "store",
+            "read",
+            "--store",
+            store_dir.to_str().unwrap(),
+            "--key",
+            "temp/t0",
+            "--region",
+            "0..3,4..12,0..16",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "stdout:\n{stdout}\nstderr:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let bytes = std::fs::read(&out).unwrap();
+    assert_eq!(bytes.len(), 3 * 8 * 16 * 4, "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}

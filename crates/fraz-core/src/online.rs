@@ -119,6 +119,15 @@ impl OnlineController {
         }
     }
 
+    /// Run this controller's calibration and re-sync searches on `pool`
+    /// instead of the process-wide [`fraz_pool::global`] pool.  An in-situ
+    /// producer typically owns one small pool sized to the cores it can
+    /// spare and points every controller (one per field) at it.
+    pub fn with_pool(mut self, pool: Arc<fraz_pool::Pool>) -> Self {
+        self.search = self.search.with_pool(pool);
+        self
+    }
+
     /// The bound the controller will try first on the next step, if any.
     pub fn current_bound(&self) -> Option<f64> {
         self.current_bound
@@ -306,6 +315,22 @@ mod tests {
         // The second step starts from the calibrated bound.
         assert!(second.compressions < first.compressions);
         assert!(ctl.current_bound().is_some());
+    }
+
+    #[test]
+    fn controller_runs_on_a_dedicated_pool() {
+        let pool = Arc::new(fraz_pool::Pool::new(2));
+        let app = synthetic::hurricane(4, 12, 12, 2, 21);
+        let mut ctl = OnlineController::new(
+            registry::build_default("sz").unwrap(),
+            OnlineControllerConfig::new(10.0, 0.1),
+        )
+        .with_pool(pool);
+        for t in 0..app.timesteps() {
+            let (compressed, report) = ctl.compress_step(&app.field("TCf", t));
+            assert!(!compressed.is_empty());
+            assert!(report.compression_ratio > 1.0);
+        }
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Row-run copies between an n-dimensional array and a sub-box of it.
+//!
+//! Both helpers move whole rows along the fastest-varying (last) axis, so
+//! the inner loop is a contiguous `copy_from_slice` and the odometer only
+//! walks the outer axes.  They are the glue between chunk payloads and
+//! region buffers: `extract` cuts a chunk (or a chunk's intersection with a
+//! request) out of a larger array, `scatter` pastes it into the output.
+
+use fraz_data::DataBuffer;
+
+fn strides(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; dims.len()];
+    for axis in (0..dims.len().saturating_sub(1)).rev() {
+        strides[axis] = strides[axis + 1] * dims[axis + 1];
+    }
+    strides
+}
+
+/// Copy the box `origin..origin+shape` out of an array of shape `dims`.
+pub fn extract<T: Copy + Default>(
+    src: &[T],
+    dims: &[usize],
+    origin: &[usize],
+    shape: &[usize],
+) -> Vec<T> {
+    debug_assert_eq!(dims.len(), origin.len());
+    debug_assert_eq!(dims.len(), shape.len());
+    debug_assert!(origin
+        .iter()
+        .zip(shape.iter().zip(dims))
+        .all(|(&o, (&s, &d))| o + s <= d));
+    let mut out = vec![T::default(); shape.iter().product()];
+    let src_strides = strides(dims);
+    let row = *shape.last().expect("non-empty shape");
+    let outer: usize = shape[..shape.len() - 1].iter().product();
+    let mut coords = vec![0usize; shape.len() - 1];
+    let mut dst_pos = 0usize;
+    for _ in 0..outer {
+        let mut src_pos = 0usize;
+        for (axis, &c) in coords.iter().enumerate() {
+            src_pos += (origin[axis] + c) * src_strides[axis];
+        }
+        src_pos += origin[shape.len() - 1];
+        out[dst_pos..dst_pos + row].copy_from_slice(&src[src_pos..src_pos + row]);
+        dst_pos += row;
+        for axis in (0..coords.len()).rev() {
+            coords[axis] += 1;
+            if coords[axis] < shape[axis] {
+                break;
+            }
+            coords[axis] = 0;
+        }
+    }
+    out
+}
+
+/// Paste an array of shape `shape` into the box at `origin` of an array of
+/// shape `dst_dims`.
+pub fn scatter<T: Copy>(
+    dst: &mut [T],
+    dst_dims: &[usize],
+    origin: &[usize],
+    src: &[T],
+    shape: &[usize],
+) {
+    debug_assert_eq!(dst_dims.len(), origin.len());
+    debug_assert_eq!(dst_dims.len(), shape.len());
+    debug_assert_eq!(src.len(), shape.iter().product::<usize>());
+    debug_assert!(origin
+        .iter()
+        .zip(shape.iter().zip(dst_dims))
+        .all(|(&o, (&s, &d))| o + s <= d));
+    let dst_strides = strides(dst_dims);
+    let row = *shape.last().expect("non-empty shape");
+    let outer: usize = shape[..shape.len() - 1].iter().product();
+    let mut coords = vec![0usize; shape.len() - 1];
+    let mut src_pos = 0usize;
+    for _ in 0..outer {
+        let mut dst_pos = 0usize;
+        for (axis, &c) in coords.iter().enumerate() {
+            dst_pos += (origin[axis] + c) * dst_strides[axis];
+        }
+        dst_pos += origin[shape.len() - 1];
+        dst[dst_pos..dst_pos + row].copy_from_slice(&src[src_pos..src_pos + row]);
+        src_pos += row;
+        for axis in (0..coords.len()).rev() {
+            coords[axis] += 1;
+            if coords[axis] < shape[axis] {
+                break;
+            }
+            coords[axis] = 0;
+        }
+    }
+}
+
+/// `extract` lifted over [`DataBuffer`], preserving the element type.
+pub fn extract_buffer(
+    src: &DataBuffer,
+    dims: &[usize],
+    origin: &[usize],
+    shape: &[usize],
+) -> DataBuffer {
+    match src {
+        DataBuffer::F32(values) => DataBuffer::F32(extract(values, dims, origin, shape)),
+        DataBuffer::F64(values) => DataBuffer::F64(extract(values, dims, origin, shape)),
+    }
+}
+
+/// `scatter` lifted over [`DataBuffer`]; panics if the element types differ
+/// (the reader validates chunk dtypes before calling this).
+pub fn scatter_buffer(
+    dst: &mut DataBuffer,
+    dst_dims: &[usize],
+    origin: &[usize],
+    src: &DataBuffer,
+    shape: &[usize],
+) {
+    match (dst, src) {
+        (DataBuffer::F32(dst), DataBuffer::F32(src)) => scatter(dst, dst_dims, origin, src, shape),
+        (DataBuffer::F64(dst), DataBuffer::F64(src)) => scatter(dst, dst_dims, origin, src, shape),
+        _ => panic!("dtype mismatch between scatter source and destination"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_1d_is_a_plain_slice() {
+        let src: Vec<i32> = (0..10).collect();
+        assert_eq!(extract(&src, &[10], &[3], &[4]), vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn extract_2d_cuts_the_expected_box() {
+        // 3 x 4, row-major.
+        let src: Vec<i32> = (0..12).collect();
+        assert_eq!(extract(&src, &[3, 4], &[1, 1], &[2, 2]), vec![5, 6, 9, 10]);
+    }
+
+    #[test]
+    fn extract_3d_cuts_the_expected_box() {
+        let src: Vec<i32> = (0..24).collect(); // 2 x 3 x 4
+        assert_eq!(
+            extract(&src, &[2, 3, 4], &[0, 1, 2], &[2, 1, 2]),
+            vec![6, 7, 18, 19]
+        );
+    }
+
+    #[test]
+    fn scatter_is_the_inverse_of_extract() {
+        let dims = [3usize, 4, 5];
+        let src: Vec<i32> = (0..60).collect();
+        let origin = [1usize, 2, 1];
+        let shape = [2usize, 2, 3];
+        let cut = extract(&src, &dims, &origin, &shape);
+        let mut dst = vec![0i32; 60];
+        scatter(&mut dst, &dims, &origin, &cut, &shape);
+        for (i, (&got, &want)) in dst.iter().zip(&src).enumerate() {
+            let coords = [i / 20, (i / 5) % 4, i % 5];
+            let inside = coords
+                .iter()
+                .zip(origin.iter().zip(&shape))
+                .all(|(&c, (&o, &s))| c >= o && c < o + s);
+            if inside {
+                assert_eq!(got, want, "inside at {coords:?}");
+            } else {
+                assert_eq!(got, 0, "outside at {coords:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn whole_array_extract_is_identity() {
+        let src: Vec<i32> = (0..24).collect();
+        assert_eq!(extract(&src, &[4, 6], &[0, 0], &[4, 6]), src);
+    }
+}

@@ -1,0 +1,381 @@
+//! Storage abstraction: listable, readable, writable, byte-range capable.
+//!
+//! The reader never needs whole objects — it reads the superblock, the
+//! header, and then exactly the byte ranges of the chunks a request
+//! intersects.  That is what makes partial decode over large containers
+//! cheap on any backend that can serve ranged reads (a local file, an HTTP
+//! object store, a zip member...).
+
+use std::collections::BTreeMap;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::StoreError;
+
+/// A keyed byte store with ranged reads.
+///
+/// Keys are `/`-separated UTF-8 paths (`"CLOUDf/t0"`); implementations must
+/// reject keys that would escape their root.  All methods take `&self` —
+/// implementations are internally synchronized so writers and readers can
+/// share a store across [`fraz_pool`] tasks.
+pub trait Store: Send + Sync {
+    /// Read a whole object.
+    fn get(&self, key: &str) -> Result<Vec<u8>, StoreError> {
+        let size = self.size(key)?;
+        self.get_range(key, 0, size)
+    }
+
+    /// Read exactly `len` bytes starting at `offset`.
+    ///
+    /// Reading past the end of the object is an error (`Io` or `Corrupt`),
+    /// never a short read.
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError>;
+
+    /// Create or replace an object.
+    fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError>;
+
+    /// All keys in the store, sorted.
+    fn list(&self) -> Result<Vec<String>, StoreError>;
+
+    /// Size of an object in bytes.
+    fn size(&self, key: &str) -> Result<u64, StoreError>;
+}
+
+fn range_of(data: &[u8], key: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+    let end = offset
+        .checked_add(len)
+        .ok_or_else(|| StoreError::Io(format!("{key}: range {offset}+{len} overflows")))?;
+    if end > data.len() as u64 {
+        return Err(StoreError::Io(format!(
+            "{key}: range {offset}..{end} exceeds object size {}",
+            data.len()
+        )));
+    }
+    Ok(data[offset as usize..end as usize].to_vec())
+}
+
+/// An in-memory store: a synchronized `BTreeMap<String, Vec<u8>>`.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    objects: Mutex<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemoryStore {
+    /// An empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Store for MemoryStore {
+    fn get(&self, key: &str) -> Result<Vec<u8>, StoreError> {
+        self.objects
+            .lock()
+            .unwrap()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| StoreError::NotFound(key.into()))
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+        let objects = self.objects.lock().unwrap();
+        let data = objects
+            .get(key)
+            .ok_or_else(|| StoreError::NotFound(key.into()))?;
+        range_of(data, key, offset, len)
+    }
+
+    fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        self.objects
+            .lock()
+            .unwrap()
+            .insert(key.to_string(), value.to_vec());
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        Ok(self.objects.lock().unwrap().keys().cloned().collect())
+    }
+
+    fn size(&self, key: &str) -> Result<u64, StoreError> {
+        let objects = self.objects.lock().unwrap();
+        objects
+            .get(key)
+            .map(|d| d.len() as u64)
+            .ok_or_else(|| StoreError::NotFound(key.into()))
+    }
+}
+
+/// A filesystem store rooted at a directory; keys map to relative paths.
+#[derive(Debug, Clone)]
+pub struct FsStore {
+    root: PathBuf,
+}
+
+impl FsStore {
+    /// Open (creating if necessary) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| StoreError::Io(format!("create {}: {e}", root.display())))?;
+        Ok(Self { root })
+    }
+
+    /// The root directory of the store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_of(&self, key: &str) -> Result<PathBuf, StoreError> {
+        if key.is_empty()
+            || key.starts_with('/')
+            || key.ends_with('/')
+            || key.split('/').any(|part| {
+                part.is_empty()
+                    || part == "."
+                    || part == ".."
+                    || part.contains('\\')
+                    || part.contains('\0')
+            })
+        {
+            return Err(StoreError::Io(format!("invalid store key: {key:?}")));
+        }
+        Ok(self.root.join(key))
+    }
+}
+
+impl Store for FsStore {
+    fn get(&self, key: &str) -> Result<Vec<u8>, StoreError> {
+        let path = self.path_of(key)?;
+        match std::fs::read(&path) {
+            Ok(data) => Ok(data),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StoreError::NotFound(key.into()))
+            }
+            Err(e) => Err(StoreError::Io(format!("read {key}: {e}"))),
+        }
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+        let path = self.path_of(key)?;
+        let mut file = match std::fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::NotFound(key.into()))
+            }
+            Err(e) => return Err(StoreError::Io(format!("open {key}: {e}"))),
+        };
+        let size = file
+            .metadata()
+            .map_err(|e| StoreError::Io(format!("stat {key}: {e}")))?
+            .len();
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| StoreError::Io(format!("{key}: range {offset}+{len} overflows")))?;
+        if end > size {
+            return Err(StoreError::Io(format!(
+                "{key}: range {offset}..{end} exceeds object size {size}"
+            )));
+        }
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| StoreError::Io(format!("seek {key}: {e}")))?;
+        let mut buf = vec![0u8; len as usize];
+        file.read_exact(&mut buf)
+            .map_err(|e| StoreError::Io(format!("read {key}: {e}")))?;
+        Ok(buf)
+    }
+
+    fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        let path = self.path_of(key)?;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| StoreError::Io(format!("mkdir for {key}: {e}")))?;
+        }
+        // Write-then-rename so concurrent readers never observe a torn object.
+        let tmp = path.with_extension("tmp-fraz-store");
+        std::fs::write(&tmp, value).map_err(|e| StoreError::Io(format!("write {key}: {e}")))?;
+        std::fs::rename(&tmp, &path).map_err(|e| StoreError::Io(format!("rename {key}: {e}")))?;
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        fn walk(dir: &Path, prefix: &str, out: &mut Vec<String>) -> Result<(), StoreError> {
+            let entries = std::fs::read_dir(dir)
+                .map_err(|e| StoreError::Io(format!("list {}: {e}", dir.display())))?;
+            for entry in entries {
+                let entry =
+                    entry.map_err(|e| StoreError::Io(format!("list {}: {e}", dir.display())))?;
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let key = if prefix.is_empty() {
+                    name.to_string()
+                } else {
+                    format!("{prefix}/{name}")
+                };
+                let path = entry.path();
+                if path.is_dir() {
+                    walk(&path, &key, out)?;
+                } else {
+                    out.push(key);
+                }
+            }
+            Ok(())
+        }
+        let mut keys = Vec::new();
+        walk(&self.root, "", &mut keys)?;
+        keys.sort();
+        Ok(keys)
+    }
+
+    fn size(&self, key: &str) -> Result<u64, StoreError> {
+        let path = self.path_of(key)?;
+        match std::fs::metadata(&path) {
+            Ok(meta) => Ok(meta.len()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StoreError::NotFound(key.into()))
+            }
+            Err(e) => Err(StoreError::Io(format!("stat {key}: {e}"))),
+        }
+    }
+}
+
+/// One recorded read: `(key, offset, len)`.
+pub type RangeRead = (String, u64, u64);
+
+/// A `Store` wrapper that records every ranged read it serves.
+///
+/// Used by the partial-decode tests to prove `read_region` touches *exactly*
+/// the intersecting chunks' byte ranges and nothing else.
+pub struct CountingStore<S: Store> {
+    inner: S,
+    reads: Mutex<Vec<RangeRead>>,
+}
+
+impl<S: Store> CountingStore<S> {
+    /// Wrap a store, starting with an empty read log.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            reads: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Every ranged read served since the last [`clear`](Self::clear), in
+    /// call order (whole-object `get`s are recorded as full-range reads).
+    pub fn reads(&self) -> Vec<RangeRead> {
+        self.reads.lock().unwrap().clone()
+    }
+
+    /// Forget the recorded reads.
+    pub fn clear(&self) {
+        self.reads.lock().unwrap().clear();
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Store> Store for CountingStore<S> {
+    fn get(&self, key: &str) -> Result<Vec<u8>, StoreError> {
+        let data = self.inner.get(key)?;
+        self.reads
+            .lock()
+            .unwrap()
+            .push((key.to_string(), 0, data.len() as u64));
+        Ok(data)
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+        self.reads
+            .lock()
+            .unwrap()
+            .push((key.to_string(), offset, len));
+        self.inner.get_range(key, offset, len)
+    }
+
+    fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        self.inner.put(key, value)
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        self.inner.list()
+    }
+
+    fn size(&self, key: &str) -> Result<u64, StoreError> {
+        self.inner.size(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_store_roundtrip_and_ranges() {
+        let store = MemoryStore::new();
+        store.put("a/b", &[1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(store.get("a/b").unwrap(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(store.size("a/b").unwrap(), 5);
+        assert_eq!(store.get_range("a/b", 1, 3).unwrap(), vec![2, 3, 4]);
+        assert_eq!(store.get_range("a/b", 5, 0).unwrap(), Vec::<u8>::new());
+        assert!(store.get_range("a/b", 4, 2).is_err());
+        assert!(store.get_range("a/b", u64::MAX, 2).is_err());
+        assert!(matches!(store.get("missing"), Err(StoreError::NotFound(_))));
+        store.put("a/a", &[9]).unwrap();
+        assert_eq!(store.list().unwrap(), vec!["a/a", "a/b"]);
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let mut root = std::env::temp_dir();
+        root.push(format!("fraz-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        root
+    }
+
+    #[test]
+    fn fs_store_roundtrip_ranges_and_listing() {
+        let root = temp_root("roundtrip");
+        let store = FsStore::open(&root).unwrap();
+        store.put("field/t0", b"hello world").unwrap();
+        store.put("field/t1", b"x").unwrap();
+        store.put("other", b"yy").unwrap();
+        assert_eq!(store.get("field/t0").unwrap(), b"hello world");
+        assert_eq!(store.get_range("field/t0", 6, 5).unwrap(), b"world");
+        assert!(store.get_range("field/t0", 6, 6).is_err());
+        assert_eq!(store.size("field/t1").unwrap(), 1);
+        assert_eq!(store.list().unwrap(), vec!["field/t0", "field/t1", "other"]);
+        // Overwrite is atomic-by-rename and replaces contents.
+        store.put("field/t0", b"bye").unwrap();
+        assert_eq!(store.get("field/t0").unwrap(), b"bye");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fs_store_rejects_escaping_keys() {
+        let root = temp_root("escape");
+        let store = FsStore::open(&root).unwrap();
+        for key in [
+            "", "/abs", "a//b", "../up", "a/../b", "a/./b", "tail/", "a\\b",
+        ] {
+            assert!(store.put(key, b"x").is_err(), "key {key:?} accepted");
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn counting_store_records_ranged_reads() {
+        let store = CountingStore::new(MemoryStore::new());
+        store.put("k", &[0u8; 64]).unwrap();
+        store.get_range("k", 8, 16).unwrap();
+        store.get_range("k", 32, 4).unwrap();
+        assert_eq!(
+            store.reads(),
+            vec![("k".to_string(), 8, 16), ("k".to_string(), 32, 4)]
+        );
+        store.clear();
+        assert!(store.reads().is_empty());
+    }
+}

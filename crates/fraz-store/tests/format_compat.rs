@@ -1,0 +1,106 @@
+//! Wire-format compatibility: the container layout is pinned by committed
+//! fixtures.  If an intentional format change breaks these tests, bump
+//! `format::VERSION` and regenerate with:
+//!
+//! ```text
+//! cargo test -p fraz-store --test format_compat -- --ignored regenerate
+//! ```
+//!
+//! (same posture as `fraz-szx` and `fraz-lossless`).
+
+use std::path::PathBuf;
+
+use fraz_data::{synthetic, Dataset};
+use fraz_pressio::Options;
+use fraz_store::{write_array, ArrayReader, ChunkTarget, MemoryStore, Store, StoreWriteConfig};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// The fixture inputs: deterministic synthetic fields and fixed bounds, so
+/// the container bytes are reproducible on every machine.
+fn cases() -> Vec<(&'static str, Dataset, StoreWriteConfig)> {
+    let hurricane = synthetic::hurricane(4, 8, 8, 1, 2020).field("CLOUDf", 0);
+    let cesm = synthetic::cesm(12, 16, 1, 77).field("FLDSC", 0);
+    vec![
+        (
+            "hurricane_szx.frzs",
+            hurricane.clone(),
+            StoreWriteConfig::new(vec![2, 4, 4], "szx", ChunkTarget::FixedBound(0.02)),
+        ),
+        (
+            "hurricane_sz_options.frzs",
+            hurricane,
+            StoreWriteConfig::new(vec![4, 4, 8], "sz", ChunkTarget::FixedBound(0.01))
+                .with_options(Options::new().with("sz:block_size", 8u64)),
+        ),
+        (
+            "cesm_2d_szx.frzs",
+            cesm,
+            StoreWriteConfig::new(vec![6, 8], "szx", ChunkTarget::FixedBound(1.5)),
+        ),
+    ]
+}
+
+fn encode_case(dataset: &Dataset, config: &StoreWriteConfig) -> Vec<u8> {
+    let store = MemoryStore::new();
+    write_array(&store, "fixture", dataset, config).unwrap();
+    store.get("fixture").unwrap()
+}
+
+#[test]
+fn containers_reproduce_the_committed_fixtures_bit_for_bit() {
+    for (name, dataset, config) in cases() {
+        let expected = std::fs::read(fixture_path(name))
+            .unwrap_or_else(|e| panic!("missing fixture {name} ({e}); run the regenerate test"));
+        let actual = encode_case(&dataset, &config);
+        assert_eq!(
+            actual, expected,
+            "{name}: the writer no longer reproduces the committed container \
+             — if the format change is intentional, bump format::VERSION and \
+             regenerate the fixtures"
+        );
+    }
+}
+
+#[test]
+fn committed_fixtures_decode_within_their_recorded_bounds() {
+    for (name, dataset, config) in cases() {
+        let object = std::fs::read(fixture_path(name))
+            .unwrap_or_else(|e| panic!("missing fixture {name} ({e}); run the regenerate test"));
+        let store = MemoryStore::new();
+        store.put("fixture", &object).unwrap();
+        let reader = ArrayReader::open(&store, "fixture").unwrap();
+        assert_eq!(reader.meta().codec, config.codec);
+        assert_eq!(reader.meta().dims, dataset.dims.as_slice());
+        let restored = reader.read_all().unwrap();
+        let src = dataset.buffer.to_f64_vec();
+        let got = restored.buffer.to_f64_vec();
+        let worst_bound = reader
+            .meta()
+            .index
+            .iter()
+            .fold(0.0f64, |acc, e| acc.max(e.bound));
+        for (i, (&a, &b)) in src.iter().zip(&got).enumerate() {
+            assert!(
+                (a - b).abs() <= worst_bound * (1.0 + 1e-9),
+                "{name}: element {i} violates the recorded bound"
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "writes the committed fixtures; run explicitly after an intentional format change"]
+fn regenerate() {
+    let dir = fixture_path("");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, dataset, config) in cases() {
+        let object = encode_case(&dataset, &config);
+        std::fs::write(fixture_path(name), &object).unwrap();
+        println!("wrote {name}: {} bytes", object.len());
+    }
+}

@@ -22,6 +22,14 @@ SZx-style backend stays ≥5× faster than SZ at compression:
 
     perf_smoke_check.py RECORDED.jsonl BASELINE.jsonl \
         --group compress --id szx --speedup-vs-id sz --min-speedup 5.0
+
+A repeatable --check GROUP/ID applies the same floor to several rows in
+one invocation (replacing the single --group/--id pair):
+
+    perf_smoke_check.py RECORDED.jsonl BASELINE.jsonl \
+        --check store_throughput/write_fixed_bound \
+        --check store_throughput/read_full \
+        --check store_throughput/read_region_slab
 """
 
 import argparse
@@ -53,6 +61,14 @@ def main():
     parser.add_argument("--group", default="lossless_dictionary")
     parser.add_argument("--id", dest="bench_id", default="lzss_compress")
     parser.add_argument(
+        "--check",
+        action="append",
+        default=None,
+        metavar="GROUP/ID",
+        help="row to floor-check, repeatable; replaces --group/--id "
+        "(not combinable with --speedup-vs-id)",
+    )
+    parser.add_argument(
         "--max-regression",
         type=float,
         default=0.40,
@@ -77,23 +93,36 @@ def main():
     )
     args = parser.parse_args()
 
-    recorded = load_row(args.recorded, args.group, args.bench_id)
-    baseline = load_row(args.baseline, args.group, args.bench_id)
+    if args.check:
+        if args.speedup_vs_id is not None:
+            sys.exit("error: --check cannot be combined with --speedup-vs-id")
+        pairs = []
+        for spec in args.check:
+            group, sep, bench_id = spec.partition("/")
+            if not sep or not group or not bench_id:
+                sys.exit(f"error: --check needs GROUP/ID, got {spec!r}")
+            pairs.append((group, bench_id))
+    else:
+        pairs = [(args.group, args.bench_id)]
 
-    floor = baseline["mib_per_s"] * (1.0 - args.max_regression)
-    name = f"{args.group}/{args.bench_id}"
-    print(
-        f"{name}: recorded {recorded['mib_per_s']:.1f} MiB/s, "
-        f"baseline {baseline['mib_per_s']:.1f} MiB/s, "
-        f"floor {floor:.1f} MiB/s"
-    )
-    if recorded["mib_per_s"] < floor:
-        sys.exit(
-            f"error: {name} regressed more than "
-            f"{args.max_regression:.0%} below the committed baseline"
+    for group, bench_id in pairs:
+        recorded = load_row(args.recorded, group, bench_id)
+        baseline = load_row(args.baseline, group, bench_id)
+
+        floor = baseline["mib_per_s"] * (1.0 - args.max_regression)
+        name = f"{group}/{bench_id}"
+        print(
+            f"{name}: recorded {recorded['mib_per_s']:.1f} MiB/s, "
+            f"baseline {baseline['mib_per_s']:.1f} MiB/s, "
+            f"floor {floor:.1f} MiB/s"
         )
-
+        if recorded["mib_per_s"] < floor:
+            sys.exit(
+                f"error: {name} regressed more than "
+                f"{args.max_regression:.0%} below the committed baseline"
+            )
     if args.speedup_vs_id is not None:
+        recorded = load_row(args.recorded, args.group, args.bench_id)
         vs_group = args.speedup_vs_group or args.group
         reference = load_row(args.recorded, vs_group, args.speedup_vs_id)
         speedup = recorded["mib_per_s"] / reference["mib_per_s"]

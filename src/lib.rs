@@ -25,6 +25,9 @@
 //!   spawns).
 //! * [`core`] — FRaZ itself: the fixed-ratio autotuning optimizer and the
 //!   parallel orchestrator.
+//! * [`store`] — the chunked array store: a self-describing container with
+//!   per-chunk tuned error bounds and partial (byte-range) decode over
+//!   pluggable storage backends.
 //!
 //! The most commonly used registry types are re-exported at the crate root
 //! ([`Registry`], [`CodecDescriptor`], [`OptionDescriptor`], [`BoundKind`],
@@ -77,6 +80,7 @@ pub use fraz_metrics as metrics;
 pub use fraz_mgard as mgard;
 pub use fraz_pool as pool;
 pub use fraz_pressio as pressio;
+pub use fraz_store as store;
 #[cfg(feature = "sz")]
 pub use fraz_sz as sz;
 #[cfg(feature = "szx")]
