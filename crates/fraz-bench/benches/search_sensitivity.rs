@@ -1,13 +1,18 @@
 //! Criterion benchmark behind Figure 7: how long one FRaZ search takes as a
 //! function of the target compression ratio (feasible vs infeasible
-//! targets).
+//! targets) — plus the `search_sensitivity` evaluation-count rows that pin
+//! the SearchHint seeding layer (analytic first guess, persistent tuning
+//! cache) to its committed baselines.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 
 use fraz_bench::scale::Scale;
 use fraz_bench::workloads;
-use fraz_core::{FixedRatioSearch, SearchConfig};
+use fraz_core::{
+    FixedQualitySearch, FixedRatioSearch, QualityMetric, QualitySearchConfig, SearchConfig,
+};
 use fraz_pressio::registry;
+use fraz_tune::CachePredictor;
 
 fn search_benchmarks(c: &mut Criterion) {
     let app = workloads::hurricane(Scale::Quick);
@@ -51,5 +56,87 @@ fn search_benchmarks(c: &mut Criterion) {
     group.finish();
 }
 
+/// Append one `{"group":"search_sensitivity","id":ID,"evaluations":N}` row
+/// next to the criterion records (same file, same `--check` tooling — the
+/// metric is compressor invocations, which is machine-noise-free).
+fn record_evaluations(id: &str, evaluations: usize) {
+    println!("search_sensitivity/{id}: {evaluations} evaluation(s)");
+    let Ok(dir) = std::env::var("FRAZ_BENCH_RECORD_DIR") else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join("search_sensitivity.jsonl");
+    let line =
+        format!("{{\"group\":\"search_sensitivity\",\"id\":{id:?},\"evaluations\":{evaluations}}}");
+    use std::io::Write;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        Ok(mut f) => {
+            if let Err(e) = writeln!(f, "{line}") {
+                eprintln!("warning: cannot write to {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot open {}: {e}", path.display()),
+    }
+}
+
+fn quality_search(codec: &str, analytic: bool) -> FixedQualitySearch {
+    let mut config = QualitySearchConfig::new(QualityMetric::PsnrAtLeast(60.0));
+    config.analytic_seed = analytic;
+    FixedQualitySearch::new(registry::build_default(codec).unwrap(), config)
+}
+
+/// How many compressor invocations each seeding mode spends; deterministic
+/// counts, not wall-clock, so the committed baselines are exact.
+fn evaluation_sensitivity() {
+    let app = workloads::hurricane(Scale::Quick);
+    let dataset = app.field("CLOUDf", 0);
+
+    // Analytic first guess: the closed-form PSNR model of sz/szx against a
+    // cold bracketing sweep on the same codec.
+    for codec in ["sz", "szx"] {
+        let cold = quality_search(codec, false).run(&dataset);
+        let seeded = quality_search(codec, true).run(&dataset);
+        record_evaluations(&format!("quality_{codec}_cold"), cold.evaluations);
+        record_evaluations(&format!("quality_{codec}_analytic"), seeded.evaluations);
+    }
+
+    // Persistent tuning cache: a second run over the same field should be
+    // one verified probe (ratio and quality alike).
+    let dir = std::env::temp_dir().join(format!("fraz-bench-tune-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let predictor = CachePredictor::open(&dir).expect("tune cache dir");
+
+    let config = SearchConfig {
+        measure_final_quality: false,
+        max_iterations: 12,
+        threads: 1,
+        ..SearchConfig::new(10.0, 0.1).with_regions(4)
+    };
+    let search = FixedRatioSearch::new(registry::build_default("sz").unwrap(), config);
+    let cold = search.run_with_predictor(&dataset, &predictor);
+    let warm = search.run_with_predictor(&dataset, &predictor);
+    record_evaluations("ratio_cold", cold.evaluations);
+    record_evaluations("ratio_warm_cache", warm.evaluations);
+
+    let qsearch = quality_search("sz", true);
+    let _ = qsearch.run_with_predictor(&dataset, &predictor);
+    let warm = qsearch.run_with_predictor(&dataset, &predictor);
+    record_evaluations("quality_warm_cache", warm.evaluations);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(benches, search_benchmarks);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    evaluation_sensitivity();
+}

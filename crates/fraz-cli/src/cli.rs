@@ -28,6 +28,8 @@ OPTIONS (run):
     --out <PATH>          append per-field JSONL records to this file
     --workers <N>         worker threads (default: manifest, then all cores)
     --compressor <NAME>   registry backend (default: manifest, then `sz`)
+    --tune-cache <DIR>    persistent tuning cache: seed searches from bounds
+                          remembered by earlier runs, record new ones
     --strict              exit 3 if any field misses its target
     --quiet               suppress the per-field table
 
@@ -73,6 +75,7 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, ArgError> {
                 overrides.workers = Some(parsed);
             }
             "--compressor" => overrides.compressor = Some(value_of("--compressor")?),
+            "--tune-cache" => overrides.tune_cache = Some(PathBuf::from(value_of("--tune-cache")?)),
             "--strict" => strict = true,
             "--quiet" | "-q" => quiet = true,
             other => return Err(ArgError::Usage(format!("unknown option `{other}`"))),
@@ -135,6 +138,19 @@ fn cmd_run(args: &[String]) -> u8 {
             report.elapsed_ms
         );
         print!("{}", report.render_table());
+        if let Some(cache) = &report.tune_cache {
+            println!(
+                "tune-cache {}: {} hit(s), {} miss(es), {} new bound(s)",
+                cache.path, cache.hits, cache.misses, cache.stores
+            );
+            if cache.corrupt_lines > 0 {
+                eprintln!(
+                    "fraz: tune-cache: skipped {} damaged line(s); \
+                     the flush above rewrote the file",
+                    cache.corrupt_lines
+                );
+            }
+        }
     }
     if let Some(out) = &parsed.out {
         use std::io::Write;
@@ -173,10 +189,15 @@ fn cmd_validate(args: &[String]) -> u8 {
         }
     };
     // Silently ignoring run-only flags would mask a misused invocation.
-    if parsed.out.is_some() || parsed.strict || parsed.quiet || parsed.overrides.workers.is_some() {
+    if parsed.out.is_some()
+        || parsed.strict
+        || parsed.quiet
+        || parsed.overrides.workers.is_some()
+        || parsed.overrides.tune_cache.is_some()
+    {
         eprintln!(
             "fraz validate: only --config and --compressor apply \
-             (--out/--strict/--quiet/--workers are `run` flags)\n\n{USAGE}"
+             (--out/--strict/--quiet/--workers/--tune-cache are `run` flags)\n\n{USAGE}"
         );
         return 2;
     }

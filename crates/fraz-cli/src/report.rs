@@ -38,6 +38,12 @@ pub struct FieldRow {
     pub retrained_steps: usize,
     /// Total compressor invocations spent by the searches.
     pub evaluations: usize,
+    /// Steps seeded straight from the persistent tuning cache; `None` when
+    /// the run had no `--tune-cache`.
+    pub cache_hits: Option<usize>,
+    /// Steps the tuning cache could not seed (cold or stale entries);
+    /// `None` when the run had no `--tune-cache`.
+    pub cache_misses: Option<usize>,
     /// Wall-clock time spent on this field, in milliseconds.
     pub elapsed_ms: f64,
 }
@@ -59,6 +65,21 @@ impl FieldRow {
     }
 }
 
+/// What the persistent tuning cache did over one run (`--tune-cache`).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TuneCacheSummary {
+    /// The backing JSONL file.
+    pub path: String,
+    /// Lookups that found a usable bound.
+    pub hits: usize,
+    /// Lookups that found nothing.
+    pub misses: usize,
+    /// Bounds recorded for future runs.
+    pub stores: usize,
+    /// Damaged lines skipped while loading the cache file.
+    pub corrupt_lines: usize,
+}
+
 /// The whole run: one row per field plus run-level totals.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RunReport {
@@ -68,6 +89,8 @@ pub struct RunReport {
     pub workers: usize,
     /// Wall-clock time of the whole run, in milliseconds.
     pub elapsed_ms: f64,
+    /// Tuning-cache counters; `None` when the run had no `--tune-cache`.
+    pub tune_cache: Option<TuneCacheSummary>,
 }
 
 impl RunReport {
@@ -79,9 +102,10 @@ impl RunReport {
     /// Render the aligned per-field console table.
     pub fn render_table(&self) -> String {
         let header = [
-            "field", "steps", "target", "bound", "ratio", "psnr", "evals", "retrain", "ms",
-            "status",
+            "field", "steps", "target", "bound", "ratio", "psnr", "evals", "hit", "miss",
+            "retrain", "ms", "status",
         ];
+        let count = |c: Option<usize>| c.map_or_else(|| "-".into(), |n| n.to_string());
         let mut rows: Vec<Vec<String>> = vec![header.iter().map(|s| s.to_string()).collect()];
         for row in &self.rows {
             rows.push(vec![
@@ -92,6 +116,8 @@ impl RunReport {
                 format!("{:.2}", row.ratio),
                 row.psnr.map_or_else(|| "-".into(), |p| format!("{p:.1}")),
                 row.evaluations.to_string(),
+                count(row.cache_hits),
+                count(row.cache_misses),
                 row.retrained_steps.to_string(),
                 format!("{:.0}", row.elapsed_ms),
                 row.status().to_string(),
@@ -157,6 +183,8 @@ mod tests {
             feasible_steps: feasible,
             retrained_steps: 1,
             evaluations: 40,
+            cache_hits: None,
+            cache_misses: None,
             elapsed_ms: 12.5,
         }
     }
@@ -167,6 +195,7 @@ mod tests {
             rows: vec![sample_row(2), sample_row(0)],
             workers: 4,
             elapsed_ms: 25.0,
+            tune_cache: None,
         };
         let table = report.render_table();
         let lines: Vec<&str> = table.lines().collect();
@@ -186,6 +215,7 @@ mod tests {
             rows: vec![sample_row(2)],
             workers: 4,
             elapsed_ms: 25.0,
+            tune_cache: None,
         };
         let lines = report.jsonl_lines();
         assert_eq!(lines.len(), 1);

@@ -5,18 +5,21 @@
 //! evaluation ran whole SDRBench applications.
 
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 use fraz_core::{
-    FieldTask, FixedQualitySearch, Orchestrator, OrchestratorConfig, QualityMetric,
-    QualitySearchConfig, QualitySearchOutcome, SearchConfig, SeriesOutcome,
+    BoundPredictor, FieldTask, FixedQualitySearch, HintReport, HintSource, Orchestrator,
+    OrchestratorConfig, QualityMetric, QualitySearchConfig, QualitySearchOutcome, SearchConfig,
+    SeriesOutcome,
 };
 use fraz_data::manifest::{FieldTarget, Manifest, ManifestError, ResolvedField};
 use fraz_pressio::registry::RegistryError;
 use fraz_pressio::{registry, Options};
+use fraz_tune::CachePredictor;
 
-use crate::report::{FieldRow, RunReport};
+use crate::report::{FieldRow, RunReport, TuneCacheSummary};
 
 /// Command-line overrides applied on top of the manifest's settings.
 #[derive(Debug, Clone, Default)]
@@ -25,6 +28,9 @@ pub struct RunOverrides {
     pub workers: Option<usize>,
     /// Compressor registry name (overrides the manifest).
     pub compressor: Option<String>,
+    /// Directory of the persistent tuning cache (`--tune-cache`); searches
+    /// seed from and record into it.
+    pub tune_cache: Option<PathBuf>,
 }
 
 /// Errors running a manifest.
@@ -34,6 +40,8 @@ pub enum RunError {
     Manifest(ManifestError),
     /// The compressor could not be built from the registry.
     Registry(RegistryError),
+    /// The `--tune-cache` directory could not be opened.
+    TuneCache(String),
 }
 
 impl fmt::Display for RunError {
@@ -41,6 +49,7 @@ impl fmt::Display for RunError {
         match self {
             RunError::Manifest(e) => write!(f, "{e}"),
             RunError::Registry(e) => write!(f, "{e}"),
+            RunError::TuneCache(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -91,8 +100,17 @@ pub fn run(
         .unwrap_or(&resolved.compressor);
     let compressor = registry::build_arc(compressor_name, &Options::new())?;
 
+    // The persistent tuning cache, when requested: one predictor shared by
+    // the ratio orchestrator and every quality search.
+    let predictor: Option<Arc<CachePredictor>> = match &overrides.tune_cache {
+        Some(dir) => Some(Arc::new(CachePredictor::open(dir).map_err(|e| {
+            RunError::TuneCache(format!("cannot open tune cache `{}`: {e}", dir.display()))
+        })?)),
+        None => None,
+    };
+
     let search = base_search(manifest);
-    let orchestrator = Orchestrator::with_compressor(
+    let mut orchestrator = Orchestrator::with_compressor(
         compressor.clone(),
         OrchestratorConfig {
             search: search.clone(),
@@ -100,6 +118,9 @@ pub fn run(
             reuse_prediction: true,
         },
     );
+    if let Some(p) = &predictor {
+        orchestrator = orchestrator.with_predictor(p.clone() as Arc<dyn BoundPredictor>);
+    }
 
     // Fixed-ratio fields run as one parallel application (Algorithm 3),
     // each carrying its own target through a per-task search override.
@@ -147,6 +168,7 @@ pub fn run(
         for (slot, field) in quality_outcomes.iter_mut().zip(&quality_fields) {
             let compressor = compressor.clone();
             let pool = orchestrator.pool().clone();
+            let predictor = predictor.clone();
             scope.spawn(move || {
                 let FieldTarget::MinPsnr(min_psnr) = field.target else {
                     unreachable!("filtered above")
@@ -160,8 +182,14 @@ pub fn run(
                 // evaluations become nested tasks instead of a serial loop.
                 let search = FixedQualitySearch::new(compressor, config).with_pool(pool);
                 let field_start = Instant::now();
-                let outcomes: Vec<QualitySearchOutcome> =
-                    field.series.iter().map(|ds| search.run(ds)).collect();
+                let outcomes: Vec<QualitySearchOutcome> = field
+                    .series
+                    .iter()
+                    .map(|ds| match &predictor {
+                        Some(p) => search.run_with_predictor(ds, p.as_ref()),
+                        None => search.run(ds),
+                    })
+                    .collect();
                 *slot = Some((outcomes, field_start.elapsed().as_secs_f64() * 1e3));
             });
         }
@@ -170,6 +198,7 @@ pub fn run(
         ratio_application.map(|app| app.fields).unwrap_or_default();
 
     // Reassemble rows in manifest order.
+    let cache_enabled = predictor.is_some();
     let mut rows = Vec::with_capacity(resolved.fields.len());
     for field in &resolved.fields {
         let row = match field.target {
@@ -178,7 +207,13 @@ pub fn run(
                     .iter()
                     .find(|o| o.field == field.name)
                     .expect("every ratio task produces an outcome");
-                ratio_row(&resolved.application, compressor.name(), field, outcome)
+                ratio_row(
+                    &resolved.application,
+                    compressor.name(),
+                    field,
+                    outcome,
+                    cache_enabled,
+                )
             }
             FieldTarget::MinPsnr(_) => {
                 let index = quality_fields
@@ -194,17 +229,50 @@ pub fn run(
                     field,
                     outcomes,
                     *elapsed_ms,
+                    cache_enabled,
                 )
             }
         };
         rows.push(row);
     }
 
+    // Persist what this run learned; failing to write the cache must not
+    // discard the run's results, so the summary carries the counters and
+    // the flush is best-effort (the caller can inspect the path).
+    let tune_cache = predictor.map(|p| {
+        let _ = p.cache().flush();
+        let stats = p.cache().stats();
+        TuneCacheSummary {
+            path: p.cache().path().display().to_string(),
+            hits: stats.hits,
+            misses: stats.misses,
+            stores: stats.stores,
+            corrupt_lines: stats.corrupt_lines,
+        }
+    });
+
     Ok(RunReport {
         rows,
         workers: orchestrator.pool().threads(),
         elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+        tune_cache,
     })
+}
+
+/// Count the steps a `--tune-cache` run seeded straight from the cache
+/// (`None`/`None` when the cache was off, so the table shows `-`).
+fn cache_columns<'a>(
+    enabled: bool,
+    hints: impl Iterator<Item = Option<&'a HintReport>>,
+    steps: usize,
+) -> (Option<usize>, Option<usize>) {
+    if !enabled {
+        return (None, None);
+    }
+    let hits = hints
+        .filter(|h| h.is_some_and(|h| h.source == HintSource::TuneCache && h.hit))
+        .count();
+    (Some(hits), Some(steps - hits))
 }
 
 fn mean(values: impl Iterator<Item = f64>) -> Option<f64> {
@@ -221,8 +289,14 @@ fn ratio_row(
     compressor: &str,
     field: &ResolvedField,
     outcome: &SeriesOutcome,
+    cache_enabled: bool,
 ) -> FieldRow {
     let steps = &outcome.steps;
+    let (cache_hits, cache_misses) = cache_columns(
+        cache_enabled,
+        steps.iter().map(|s| s.hint.as_ref()),
+        steps.len(),
+    );
     FieldRow {
         application: application.to_string(),
         field: field.name.clone(),
@@ -246,6 +320,8 @@ fn ratio_row(
         feasible_steps: steps.iter().filter(|s| s.feasible).count(),
         retrained_steps: outcome.retrain_steps.len(),
         evaluations: outcome.total_evaluations(),
+        cache_hits,
+        cache_misses,
         elapsed_ms: outcome.elapsed.as_secs_f64() * 1e3,
     }
 }
@@ -256,7 +332,13 @@ fn quality_row(
     field: &ResolvedField,
     outcomes: &[QualitySearchOutcome],
     elapsed_ms: f64,
+    cache_enabled: bool,
 ) -> FieldRow {
+    let (cache_hits, cache_misses) = cache_columns(
+        cache_enabled,
+        outcomes.iter().map(|o| o.hint.as_ref()),
+        outcomes.len(),
+    );
     FieldRow {
         application: application.to_string(),
         field: field.name.clone(),
@@ -281,6 +363,8 @@ fn quality_row(
         // Quality searches have no prediction reuse: every step trains.
         retrained_steps: outcomes.len(),
         evaluations: outcomes.iter().map(|o| o.evaluations).sum(),
+        cache_hits,
+        cache_misses,
         elapsed_ms,
     }
 }

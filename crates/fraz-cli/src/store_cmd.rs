@@ -8,11 +8,14 @@
 
 use std::ops::Range;
 use std::path::PathBuf;
+use std::sync::Arc;
 
+use fraz_core::BoundPredictor;
 use fraz_data::io::write_raw;
 use fraz_data::manifest::FieldTarget;
 use fraz_pressio::Options;
-use fraz_store::{write_array, ArrayReader, ChunkTarget, FsStore, Store, StoreWriteConfig};
+use fraz_store::{write_array_seeded, ArrayReader, ChunkTarget, FsStore, Store, StoreWriteConfig};
+use fraz_tune::CachePredictor;
 
 use crate::config::load_manifest;
 
@@ -28,6 +31,8 @@ OPTIONS (create):
     --store <DIR>         store root directory (created if missing)
     --chunk <AxBxC>       chunk shape, e.g. 16x64x64 (default: 64 per axis)
     --compressor <NAME>   registry backend (default: manifest, then `sz`)
+    --tune-cache <DIR>    persistent tuning cache: seed chunk searches from
+                          bounds remembered by earlier runs
     --quiet               suppress the per-object lines
 
 OPTIONS (read):
@@ -101,6 +106,7 @@ fn cmd_create(args: &[String]) -> u8 {
     let mut store_dir = None;
     let mut chunk = None;
     let mut compressor = None;
+    let mut tune_cache = None;
     let mut quiet = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -114,6 +120,7 @@ fn cmd_create(args: &[String]) -> u8 {
             "--store" => value_of("--store").map(|v| store_dir = Some(PathBuf::from(v))),
             "--chunk" => value_of("--chunk").and_then(|v| parse_chunk(&v).map(|c| chunk = Some(c))),
             "--compressor" => value_of("--compressor").map(|v| compressor = Some(v)),
+            "--tune-cache" => value_of("--tune-cache").map(|v| tune_cache = Some(PathBuf::from(v))),
             "--quiet" | "-q" => {
                 quiet = true;
                 Ok(())
@@ -158,6 +165,16 @@ fn cmd_create(args: &[String]) -> u8 {
     };
     let codec = compressor.as_deref().unwrap_or(&resolved.compressor);
     let tolerance = manifest.tolerance.unwrap_or(0.1);
+    let predictor: Option<Arc<CachePredictor>> = match &tune_cache {
+        Some(dir) => match CachePredictor::open(dir) {
+            Ok(p) => Some(Arc::new(p)),
+            Err(e) => {
+                eprintln!("fraz: cannot open tune cache `{}`: {e}", dir.display());
+                return 1;
+            }
+        },
+        None => None,
+    };
 
     let mut objects = 0usize;
     let mut total_raw = 0u64;
@@ -192,7 +209,9 @@ fn cmd_create(args: &[String]) -> u8 {
                 write_config = write_config.with_max_error_bound(bound);
             }
             let key = format!("{}/t{step}", field.name);
-            let report = match write_array(&store, &key, dataset, &write_config) {
+            let seed = predictor.clone().map(|p| p as Arc<dyn BoundPredictor>);
+            let report = match write_array_seeded(&store, &key, dataset, &write_config, None, seed)
+            {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("fraz: {key}: {e}");
@@ -211,6 +230,20 @@ fn cmd_create(args: &[String]) -> u8 {
                     report.evaluations
                 );
             }
+        }
+    }
+    if let Some(p) = &predictor {
+        if let Err(e) = p.cache().flush() {
+            eprintln!("fraz: tune-cache flush failed: {e}");
+        } else if !quiet {
+            let stats = p.cache().stats();
+            println!(
+                "tune-cache {}: {} hit(s), {} miss(es), {} new bound(s)",
+                p.cache().path().display(),
+                stats.hits,
+                stats.misses,
+                stats.stores
+            );
         }
     }
     if !quiet {

@@ -51,7 +51,7 @@ fn runner_produces_per_field_rows_with_metrics() {
         &fixture_dir(),
         &RunOverrides {
             workers: Some(4),
-            compressor: None,
+            ..RunOverrides::default()
         },
     )
     .unwrap();
@@ -119,6 +119,7 @@ fn compressor_override_and_unknown_compressor_error() {
         &RunOverrides {
             workers: Some(2),
             compressor: Some("zfp".to_string()),
+            ..RunOverrides::default()
         },
     )
     .unwrap();
@@ -130,6 +131,7 @@ fn compressor_override_and_unknown_compressor_error() {
         &RunOverrides {
             workers: Some(2),
             compressor: Some("szz".to_string()),
+            ..RunOverrides::default()
         },
     )
     .unwrap_err()
@@ -147,6 +149,7 @@ fn szx_override_runs_the_fixture_end_to_end() {
         &RunOverrides {
             workers: Some(2),
             compressor: Some("szx".to_string()),
+            ..RunOverrides::default()
         },
     )
     .unwrap();
@@ -213,6 +216,43 @@ fn binary_smoke_run_writes_table_and_jsonl() {
     assert!(output.status.success());
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("manifest OK"), "{stdout}");
+}
+
+#[test]
+fn tune_cache_second_run_halves_evaluations() {
+    let dir = std::env::temp_dir().join(format!("fraz_cli_tune_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let manifest = fraz_cli::load_manifest(&fixture_dir().join("manifest.toml")).unwrap();
+    let overrides = RunOverrides {
+        workers: Some(2),
+        tune_cache: Some(dir.clone()),
+        ..RunOverrides::default()
+    };
+
+    let cold = run(&manifest, &fixture_dir(), &overrides).unwrap();
+    let cold_evals: usize = cold.rows.iter().map(|r| r.evaluations).sum();
+    let cold_cache = cold.tune_cache.as_ref().expect("cache summary present");
+    assert!(cold_cache.stores > 0, "cold run records bounds");
+
+    // Second process over the same data: every search seeds from the cache.
+    let warm = run(&manifest, &fixture_dir(), &overrides).unwrap();
+    let warm_evals: usize = warm.rows.iter().map(|r| r.evaluations).sum();
+    let warm_cache = warm.tune_cache.as_ref().unwrap();
+    assert!(warm_cache.hits > 0, "warm run hits the cache");
+    assert!(
+        (warm_evals as f64) <= cold_evals as f64 * 0.5,
+        "warm run spent {warm_evals} evaluations vs {cold_evals} cold"
+    );
+    // Warm rows report their hits; every hit step costs a single probe.
+    for row in &warm.rows {
+        assert!(row.cache_hits.unwrap() >= 1, "{}: no cache hit", row.field);
+    }
+    // The quality metrics are unchanged: seeding only changes how fast the
+    // searches land, not where.
+    for (c, w) in cold.rows.iter().zip(&warm.rows) {
+        assert_eq!(c.feasible_steps, w.feasible_steps, "{}", c.field);
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -25,7 +25,10 @@
 //! * [`search`] — the worker task and region-parallel training
 //!   (Algorithms 1–2),
 //! * [`orchestrator`] — time-step prediction reuse and parallel-by-field
-//!   scheduling (Algorithm 3).
+//!   scheduling (Algorithm 3),
+//! * [`hint`] — the [`SearchHint`] / [`BoundPredictor`] seeding layer that
+//!   lets analytic models, warm-start state, and tuning caches feed every
+//!   search through one API.
 //!
 //! # Quick start
 //!
@@ -45,6 +48,7 @@
 //! }
 //! ```
 
+pub mod hint;
 pub mod loss;
 pub mod online;
 pub mod optim;
@@ -53,6 +57,10 @@ pub mod quality;
 pub mod regions;
 pub mod search;
 
+pub use hint::{
+    BoundPredictor, HintQuery, HintReport, HintSource, HintTarget, LastConverged, PredictorChain,
+    SearchHint,
+};
 pub use loss::RatioLoss;
 pub use online::{OnlineController, OnlineControllerConfig, OnlineStepReport};
 pub use optim::{binary_search, grid_search, GlobalMinimizer, OptimizerConfig, SearchTrace};

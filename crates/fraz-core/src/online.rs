@@ -25,6 +25,7 @@ use serde::{Deserialize, Serialize};
 use fraz_data::Dataset;
 use fraz_pressio::Compressor;
 
+use crate::hint::{BoundPredictor, HintSource, SearchHint};
 use crate::loss::RatioLoss;
 use crate::search::{FixedRatioSearch, SearchConfig};
 
@@ -100,6 +101,7 @@ pub struct OnlineController {
     current_bound: Option<f64>,
     steps_processed: usize,
     history: Vec<OnlineStepReport>,
+    predictor: Option<Arc<dyn BoundPredictor>>,
 }
 
 impl OnlineController {
@@ -116,7 +118,16 @@ impl OnlineController {
             current_bound: None,
             steps_processed: 0,
             history: Vec::new(),
+            predictor: None,
         }
+    }
+
+    /// Seed the first-step calibration from an external [`BoundPredictor`]
+    /// (e.g. the `fraz-tune` cache), which then observes every calibration
+    /// and re-sync result.
+    pub fn with_predictor(mut self, predictor: Arc<dyn BoundPredictor>) -> Self {
+        self.predictor = Some(predictor);
+        self
     }
 
     /// Run this controller's calibration and re-sync searches on `pool`
@@ -179,9 +190,13 @@ impl OnlineController {
         let mut bound = match self.current_bound {
             Some(b) => self.clamp_bound(b, dataset),
             None => {
-                // First step: full (bounded) calibration search.
+                // First step: full (bounded) calibration search, seeded by
+                // the external predictor when one is installed.
                 recalibrated = true;
-                let outcome = self.search.run(dataset);
+                let outcome = match &self.predictor {
+                    Some(predictor) => self.search.run_with_predictor(dataset, predictor.as_ref()),
+                    None => self.search.run(dataset),
+                };
                 compressions += outcome.evaluations;
                 self.clamp_bound(outcome.error_bound, dataset)
             }
@@ -209,7 +224,14 @@ impl OnlineController {
         let soft = RatioLoss::new(self.config.target_ratio, self.config.resync_tolerance);
         if !soft.is_acceptable(outcome.compression_ratio) {
             recalibrated = true;
-            let searched = self.search.run_with_prediction(dataset, Some(bound));
+            // Seed the re-search at the current bound — the probe verifies
+            // whether the drift was a one-step fluke before the full race.
+            let hint = SearchHint::converged(bound, HintSource::Resync);
+            let searched = self.search.run_with_hint(dataset, Some(&hint));
+            if let Some(predictor) = &self.predictor {
+                let query = self.search.hint_query(dataset);
+                predictor.observe(&query, searched.error_bound, searched.feasible);
+            }
             compressions += searched.evaluations;
             bound = self.clamp_bound(searched.error_bound, dataset);
             outcome = self

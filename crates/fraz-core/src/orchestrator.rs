@@ -29,6 +29,7 @@ use fraz_pool::Pool;
 use fraz_pressio::registry::{self, Registry, RegistryError};
 use fraz_pressio::{Compressor, Options};
 
+use crate::hint::{BoundPredictor, HintSource, LastConverged, PredictorChain};
 use crate::search::{FixedRatioSearch, SearchConfig, SearchOutcome};
 
 /// Outcome of tuning one field across all of its time-steps.
@@ -212,6 +213,7 @@ pub struct Orchestrator {
     compressor: Arc<dyn Compressor>,
     config: OrchestratorConfig,
     pool: OnceLock<Arc<Pool>>,
+    predictor: Option<Arc<dyn BoundPredictor>>,
 }
 
 impl Orchestrator {
@@ -237,7 +239,16 @@ impl Orchestrator {
             compressor: compressor.into(),
             config,
             pool: OnceLock::new(),
+            predictor: None,
         }
+    }
+
+    /// Install an external [`BoundPredictor`] (e.g. the `fraz-tune` cache)
+    /// consulted after the in-series previous-step slot and taught every
+    /// converged bound.  Shared across the parallel field tasks.
+    pub fn with_predictor(mut self, predictor: Arc<dyn BoundPredictor>) -> Self {
+        self.predictor = Some(predictor);
+        self
     }
 
     /// Use `pool` instead of a private one, e.g. so several orchestrators
@@ -310,24 +321,28 @@ impl Orchestrator {
         let search = self.make_search(search, threads);
         let mut steps = Vec::with_capacity(series.len());
         let mut retrain_steps = Vec::new();
-        let mut prediction: Option<f64> = None;
+        // Algorithm 3's time-step prediction is a [`LastConverged`] slot
+        // (it learns a bound only when the objective was met, lines 5-7)
+        // chained in front of any externally installed predictor: within
+        // the series the previous step seeds the next, while the external
+        // predictor seeds step 0 and observes every converged bound.
+        let mut predictors: Vec<Arc<dyn BoundPredictor>> = Vec::new();
+        if self.config.reuse_prediction {
+            predictors.push(Arc::new(LastConverged::new(HintSource::PreviousStep)));
+        }
+        if let Some(external) = &self.predictor {
+            predictors.push(Arc::clone(external));
+        }
+        let chain = PredictorChain::new(predictors);
         for (t, dataset) in series.iter().enumerate() {
-            let prediction_in = if self.config.reuse_prediction {
-                prediction
+            let outcome = if chain.is_empty() {
+                search.run(dataset)
             } else {
-                None
+                search.run_with_predictor(dataset, &chain)
             };
-            let outcome = search.run_with_prediction(dataset, prediction_in);
             if outcome.retrained {
                 retrain_steps.push(t);
             }
-            // Only propagate bounds that actually met the objective
-            // (Algorithm 3 line 5-7: `p <- e` only on success).
-            prediction = if outcome.feasible {
-                Some(outcome.error_bound)
-            } else {
-                prediction
-            };
             steps.push(outcome);
         }
         SeriesOutcome {

@@ -23,8 +23,9 @@ use serde::{Deserialize, Serialize};
 
 use fraz_data::Dataset;
 use fraz_pool::Pool;
-use fraz_pressio::{CompressionOutcome, Compressor};
+use fraz_pressio::{registry, BoundKind, CompressionOutcome, Compressor};
 
+use crate::hint::{BoundPredictor, HintQuery, HintReport, HintSource, HintTarget, SearchHint};
 use crate::regions::BoundScale;
 
 /// The quality metric a [`FixedQualitySearch`] constrains.
@@ -78,6 +79,10 @@ pub struct QualitySearchConfig {
     pub improvement_tolerance: f64,
     /// Maximum allowed error bound (the same `U` as the ratio search).
     pub max_error_bound: Option<f64>,
+    /// Seed the search from the codec's closed-form PSNR↔bound model when
+    /// its descriptor declares one (see [`fraz_pressio::PsnrBoundModel`]);
+    /// codecs without a model bracket as before.  On by default.
+    pub analytic_seed: bool,
 }
 
 impl QualitySearchConfig {
@@ -89,6 +94,7 @@ impl QualitySearchConfig {
             scale: BoundScale::Log,
             improvement_tolerance: 0.02,
             max_error_bound: None,
+            analytic_seed: true,
         }
     }
 }
@@ -106,6 +112,8 @@ pub struct QualitySearchOutcome {
     pub evaluations: usize,
     /// Wall-clock time of the search.
     pub elapsed: Duration,
+    /// What the search did with its seeding hint (`None` on cold runs).
+    pub hint: Option<HintReport>,
 }
 
 /// Searches for the most compressive error bound that still satisfies a
@@ -114,6 +122,7 @@ pub struct FixedQualitySearch {
     compressor: Arc<dyn Compressor>,
     config: QualitySearchConfig,
     pool: Option<Arc<Pool>>,
+    codec_config: String,
 }
 
 impl FixedQualitySearch {
@@ -129,7 +138,16 @@ impl FixedQualitySearch {
             compressor: compressor.into(),
             config,
             pool: None,
+            codec_config: String::new(),
         }
+    }
+
+    /// Record the canonical codec-options signature
+    /// ([`fraz_pressio::Options::signature`]) carried in every
+    /// [`HintQuery`], so predictors can key on the exact configuration.
+    pub fn with_codec_config(mut self, codec_config: impl Into<String>) -> Self {
+        self.codec_config = codec_config.into();
+        self
     }
 
     /// Run the sweep evaluations on `pool` instead of the global pool.  The
@@ -146,14 +164,131 @@ impl FixedQualitySearch {
     }
 
     /// Run the search on one dataset.
+    ///
+    /// When [`QualitySearchConfig::analytic_seed`] is set (the default) and
+    /// the codec's descriptor declares a model covering the metric, the
+    /// search starts from that analytic first guess (see
+    /// [`analytic_hint`](Self::analytic_hint)) instead of the log-spaced
+    /// sweep.
     pub fn run(&self, dataset: &Dataset) -> QualitySearchOutcome {
+        let analytic = if self.config.analytic_seed {
+            self.analytic_hint(dataset)
+        } else {
+            None
+        };
+        self.run_with_hint(dataset, analytic.as_ref())
+    }
+
+    /// Ask `predictor` for a seed (falling back to the analytic model when
+    /// it declines), run the search, and close the loop through
+    /// [`BoundPredictor::observe`].
+    pub fn run_with_predictor(
+        &self,
+        dataset: &Dataset,
+        predictor: &dyn BoundPredictor,
+    ) -> QualitySearchOutcome {
+        let query = self.hint_query(dataset);
+        let hint = predictor
+            .predict(&query)
+            .filter(SearchHint::is_valid)
+            .or_else(|| {
+                if self.config.analytic_seed {
+                    self.analytic_hint(dataset)
+                } else {
+                    None
+                }
+            });
+        let outcome = self.run_with_hint(dataset, hint.as_ref());
+        predictor.observe(&query, outcome.error_bound, outcome.satisfiable);
+        outcome
+    }
+
+    /// The predictor-facing description of this search over `dataset`.
+    pub fn hint_query<'a>(&'a self, dataset: &'a Dataset) -> HintQuery<'a> {
+        HintQuery {
+            dataset,
+            codec: self.compressor.name(),
+            codec_config: &self.codec_config,
+            target: self.hint_target(),
+        }
+    }
+
+    fn hint_target(&self) -> HintTarget {
+        match self.config.metric {
+            QualityMetric::PsnrAtLeast(t) => HintTarget::MinPsnr(t),
+            QualityMetric::SsimAtLeast(t) => HintTarget::MinSsim(t),
+            QualityMetric::RmseAtMost(t) => HintTarget::MaxRmse(t),
+            QualityMetric::MaxErrorAtMost(t) => HintTarget::MaxError(t),
+        }
+    }
+
+    /// The analytic first guess for this search, when the codec's registry
+    /// descriptor covers the metric:
+    ///
+    /// * PSNR targets invert the descriptor's
+    ///   [`PsnrBoundModel`](fraz_pressio::PsnrBoundModel);
+    /// * RMSE targets use the same uniform-quantization assumption
+    ///   (`rmse = e/√3` ⇒ `e = √3·rmse`);
+    /// * max-error targets on pointwise-guaranteed codecs *are* the answer
+    ///   (bound = target), so the hint is marked converged;
+    /// * SSIM has no closed form — `None`, bracket cold.
+    pub fn analytic_hint(&self, dataset: &Dataset) -> Option<SearchHint> {
+        let descriptor = registry::describe(self.compressor.name())?;
+        let hint = match self.config.metric {
+            QualityMetric::PsnrAtLeast(target) => {
+                let range = dataset.stats().value_range();
+                let bound = descriptor.psnr_model?.bound_for_psnr(range, target)?;
+                SearchHint::seed(bound, HintSource::Analytic)
+                    .with_bracket(bound / 16.0, bound * 16.0)
+            }
+            QualityMetric::RmseAtMost(target) => {
+                descriptor.psnr_model?;
+                let bound = 3f64.sqrt() * target;
+                SearchHint::seed(bound, HintSource::Analytic)
+                    .with_bracket(bound / 16.0, bound * 16.0)
+            }
+            QualityMetric::MaxErrorAtMost(target) => {
+                if !matches!(
+                    descriptor.bound_kind,
+                    BoundKind::AbsoluteError | BoundKind::AccuracyTolerance
+                ) {
+                    return None;
+                }
+                SearchHint::converged(target, HintSource::Analytic)
+            }
+            QualityMetric::SsimAtLeast(_) => return None,
+        };
+        hint.is_valid().then_some(hint)
+    }
+
+    /// Run the search seeded by `hint` (cold when `None`).
+    ///
+    /// A converged hint that verifies is accepted outright at one
+    /// evaluation.  Any other usable hint replaces the coarse sweep with a
+    /// geometric expansion from the probed point, and the usual bisection
+    /// polishes the bracket either way.
+    pub fn run_with_hint(
+        &self,
+        dataset: &Dataset,
+        hint: Option<&SearchHint>,
+    ) -> QualitySearchOutcome {
         let start = Instant::now();
-        let (lower, mut upper) = self.compressor.bound_range(dataset);
+        let (mut lower, mut upper) = self.compressor.bound_range(dataset);
         if let Some(u) = self.config.max_error_bound {
             if u > lower {
                 upper = upper.min(u);
             }
         }
+        let hint = hint.filter(|h| h.is_valid());
+        if let Some((blo, bhi)) = hint.and_then(|h| h.bracket) {
+            // A hint bracket narrows the axis the fallback explores.
+            let (nlo, nhi) = (lower.max(blo), upper.min(bhi));
+            if nlo < nhi {
+                lower = nlo;
+                upper = nhi;
+            }
+        }
+        let lower = lower;
         let upper = upper.max(lower * (1.0 + 1e-9));
 
         // Work on a log axis when requested (bounds span decades).
@@ -166,72 +301,18 @@ impl FixedQualitySearch {
             BoundScale::Log => 10f64.powf(x),
         };
 
-        // Phase 1: coarse sweep to bracket the constraint boundary.  The
-        // quality degrades (noisily) as the bound grows, so the boundary is
-        // the largest bound that still satisfies the constraint.  The sweep
-        // points are independent, so each compress + decompress + measure
-        // round runs as a task on the shared work-stealing pool, writing
-        // into its own slot; the fold below stays in sweep order, so the
-        // outcome is identical to the old serial sweep.
-        let sweep_points = (self.config.max_iterations / 2).clamp(4, 12);
         let (xlo, xhi) = (to_x(lower), to_x(upper));
-        let sweep_xs: Vec<f64> = (0..sweep_points)
-            .map(|i| xlo + (xhi - xlo) * i as f64 / (sweep_points - 1) as f64)
-            .collect();
-        let mut sweep_results: Vec<Option<(f64, bool, CompressionOutcome)>> =
-            vec![None; sweep_points];
-        {
-            let pool: &Pool = match &self.pool {
-                Some(pool) => pool,
-                None => fraz_pool::global(),
-            };
-            pool.scope(|scope| {
-                let from_x = &from_x;
-                for (slot, &x) in sweep_results.iter_mut().zip(&sweep_xs) {
-                    scope.spawn(move || {
-                        let bound = from_x(x).clamp(lower, upper);
-                        if let Ok(outcome) = self.compressor.evaluate(dataset, bound, true) {
-                            let quality = outcome.quality.as_ref().expect("quality requested");
-                            let ok = self.config.metric.is_satisfied(quality);
-                            *slot = Some((bound, ok, outcome));
-                        }
-                    });
-                }
-            });
-        }
-
-        // Fold the sweep in order: track the best acceptable evaluation
-        // (highest ratio among those satisfying the constraint) and the
-        // bracket around the constraint boundary.
-        let mut evaluations = sweep_points;
+        let mut evaluations = 0usize;
         let mut best_acceptable: Option<(f64, CompressionOutcome)> = None;
-        let mut last_ok: Option<f64> = None;
-        let mut first_bad: Option<f64> = None;
-        for (&x, result) in sweep_xs.iter().zip(sweep_results.into_iter()) {
-            match result {
-                Some((bound, true, outcome)) => {
-                    last_ok = Some(x);
-                    let better = match &best_acceptable {
-                        None => true,
-                        Some((_, b)) => outcome.compression_ratio > b.compression_ratio,
-                    };
-                    if better {
-                        best_acceptable = Some((bound, outcome));
-                    }
-                }
-                Some((_, false, _)) => {
-                    if last_ok.is_some() && first_bad.is_none() {
-                        first_bad = Some(x);
-                    }
-                }
-                None => {}
-            }
-        }
 
-        let remaining = self.config.max_iterations.saturating_sub(evaluations);
-        let mut evaluate = |x: f64, best: &mut Option<(f64, CompressionOutcome)>| -> Option<bool> {
+        // One compress + decompress + measure round at axis position `x`,
+        // folded into the best-acceptable tracker.
+        let evaluate = |x: f64,
+                        best: &mut Option<(f64, CompressionOutcome)>,
+                        evaluations: &mut usize|
+         -> Option<bool> {
             let bound = from_x(x).clamp(lower, upper);
-            evaluations += 1;
+            *evaluations += 1;
             match self.compressor.evaluate(dataset, bound, true) {
                 Ok(outcome) => {
                     let quality = outcome.quality.as_ref().expect("quality requested");
@@ -251,16 +332,169 @@ impl FixedQualitySearch {
             }
         };
 
+        // Hinted phase: probe the hint.  A converged hint that verifies is
+        // final (the probe *is* the verify pass); otherwise the probe
+        // anchors a geometric expansion along the axis that brackets the
+        // constraint boundary without the coarse sweep.
+        let mut hint_report: Option<HintReport> = None;
+        let mut bracket: Option<(f64, f64)> = None;
+        let mut need_sweep = true;
+        if let Some(h) = hint {
+            let hx = to_x(h.bound.clamp(lower, upper));
+            match evaluate(hx, &mut best_acceptable, &mut evaluations) {
+                Some(ok0) => {
+                    if h.converged && ok0 {
+                        let (bound, best) = best_acceptable.expect("satisfied probe is stored");
+                        return QualitySearchOutcome {
+                            error_bound: bound,
+                            best,
+                            satisfiable: true,
+                            evaluations,
+                            elapsed: start.elapsed(),
+                            hint: Some(HintReport {
+                                source: h.source,
+                                bound: h.bound,
+                                hit: true,
+                                probes: evaluations,
+                            }),
+                        };
+                    }
+                    need_sweep = false;
+                    let expansion_budget = (self.config.max_iterations / 2).max(2);
+                    let mut step = (xhi - xlo).abs() / 8.0;
+                    if step <= 0.0 {
+                        step = 1.0;
+                    }
+                    if ok0 {
+                        // Constraint holds at the probe: the boundary (and
+                        // better compression) lies above.
+                        let mut ok_x = hx;
+                        while evaluations < expansion_budget && ok_x < xhi {
+                            let next = (ok_x + step).min(xhi);
+                            step *= 2.0;
+                            match evaluate(next, &mut best_acceptable, &mut evaluations) {
+                                Some(true) => ok_x = next,
+                                Some(false) => {
+                                    bracket = Some((ok_x, next));
+                                    break;
+                                }
+                                None => break,
+                            }
+                        }
+                    } else {
+                        // Constraint violated at the probe: walk down until
+                        // it holds (or the axis runs out).
+                        let mut bad_x = hx;
+                        while evaluations < expansion_budget && bad_x > xlo {
+                            let next = (bad_x - step).max(xlo);
+                            step *= 2.0;
+                            match evaluate(next, &mut best_acceptable, &mut evaluations) {
+                                Some(true) => {
+                                    bracket = Some((next, bad_x));
+                                    break;
+                                }
+                                Some(false) => bad_x = next,
+                                None => break,
+                            }
+                        }
+                    }
+                    hint_report = Some(HintReport {
+                        source: h.source,
+                        bound: h.bound,
+                        hit: ok0,
+                        probes: evaluations,
+                    });
+                }
+                None => {
+                    // The probe itself failed to compress: report the miss
+                    // and bracket cold.
+                    hint_report = Some(HintReport {
+                        source: h.source,
+                        bound: h.bound,
+                        hit: false,
+                        probes: evaluations,
+                    });
+                }
+            }
+        }
+
+        if need_sweep {
+            // Phase 1 (cold): coarse sweep to bracket the constraint
+            // boundary.  The quality degrades (noisily) as the bound grows,
+            // so the boundary is the largest bound that still satisfies the
+            // constraint.  The sweep points are independent, so each
+            // compress + decompress + measure round runs as a task on the
+            // shared work-stealing pool, writing into its own slot; the fold
+            // below stays in sweep order, so the outcome is identical to a
+            // serial sweep.
+            let sweep_points = (self.config.max_iterations / 2).clamp(4, 12);
+            let sweep_xs: Vec<f64> = (0..sweep_points)
+                .map(|i| xlo + (xhi - xlo) * i as f64 / (sweep_points - 1) as f64)
+                .collect();
+            let mut sweep_results: Vec<Option<(f64, bool, CompressionOutcome)>> =
+                vec![None; sweep_points];
+            {
+                let pool: &Pool = match &self.pool {
+                    Some(pool) => pool,
+                    None => fraz_pool::global(),
+                };
+                pool.scope(|scope| {
+                    let from_x = &from_x;
+                    for (slot, &x) in sweep_results.iter_mut().zip(&sweep_xs) {
+                        scope.spawn(move || {
+                            let bound = from_x(x).clamp(lower, upper);
+                            if let Ok(outcome) = self.compressor.evaluate(dataset, bound, true) {
+                                let quality = outcome.quality.as_ref().expect("quality requested");
+                                let ok = self.config.metric.is_satisfied(quality);
+                                *slot = Some((bound, ok, outcome));
+                            }
+                        });
+                    }
+                });
+            }
+
+            // Fold the sweep in order: track the best acceptable evaluation
+            // (highest ratio among those satisfying the constraint) and the
+            // bracket around the constraint boundary.
+            evaluations += sweep_points;
+            let mut last_ok: Option<f64> = None;
+            let mut first_bad: Option<f64> = None;
+            for (&x, result) in sweep_xs.iter().zip(sweep_results.into_iter()) {
+                match result {
+                    Some((bound, true, outcome)) => {
+                        last_ok = Some(x);
+                        let better = match &best_acceptable {
+                            None => true,
+                            Some((_, b)) => outcome.compression_ratio > b.compression_ratio,
+                        };
+                        if better {
+                            best_acceptable = Some((bound, outcome));
+                        }
+                    }
+                    Some((_, false, _)) => {
+                        if last_ok.is_some() && first_bad.is_none() {
+                            first_bad = Some(x);
+                        }
+                    }
+                    None => {}
+                }
+            }
+            if let (Some(ok_x), Some(bad_x)) = (last_ok, first_bad) {
+                bracket = Some((ok_x, bad_x));
+            }
+        }
+
         // Phase 2: bisect between the last satisfying and the first violating
         // bound to squeeze out the remaining compression.  Each probe depends
         // on the previous verdict, so this phase is inherently serial.
-        if let (Some(mut ok_x), Some(mut bad_x)) = (last_ok, first_bad) {
+        let remaining = self.config.max_iterations.saturating_sub(evaluations);
+        if let Some((mut ok_x, mut bad_x)) = bracket {
             for _ in 0..remaining {
                 if (bad_x - ok_x).abs() <= self.config.improvement_tolerance * (xhi - xlo).abs() {
                     break;
                 }
                 let mid = 0.5 * (ok_x + bad_x);
-                match evaluate(mid, &mut best_acceptable) {
+                match evaluate(mid, &mut best_acceptable, &mut evaluations) {
                     Some(true) => ok_x = mid,
                     Some(false) => bad_x = mid,
                     None => break,
@@ -275,6 +509,7 @@ impl FixedQualitySearch {
                 satisfiable: true,
                 evaluations,
                 elapsed: start.elapsed(),
+                hint: hint_report,
             },
             None => {
                 // Nothing satisfied the constraint: fall back to the
@@ -297,6 +532,7 @@ impl FixedQualitySearch {
                     satisfiable: false,
                     evaluations,
                     elapsed: start.elapsed(),
+                    hint: hint_report,
                 }
             }
         }
@@ -379,6 +615,60 @@ mod tests {
             strict.best.compression_ratio
         );
         assert!(strict.best.quality.as_ref().unwrap().psnr >= 90.0);
+    }
+
+    #[test]
+    fn analytic_seed_reduces_evaluations_and_still_meets_target() {
+        let d = dataset();
+        let run = |codec: &str, seed: bool| {
+            let config = QualitySearchConfig {
+                max_iterations: 20,
+                analytic_seed: seed,
+                ..QualitySearchConfig::new(QualityMetric::PsnrAtLeast(60.0))
+            };
+            FixedQualitySearch::new(registry::build_default(codec).unwrap(), config).run(&d)
+        };
+        for codec in ["sz", "szx"] {
+            let cold = run(codec, false);
+            let seeded = run(codec, true);
+            assert!(cold.hint.is_none(), "{codec}: cold runs carry no hint");
+            let report = seeded
+                .hint
+                .expect("sz-family descriptors declare a psnr model");
+            assert_eq!(report.source, HintSource::Analytic);
+            assert!(seeded.satisfiable);
+            assert!(seeded.best.quality.as_ref().unwrap().psnr >= 60.0);
+            assert!(
+                seeded.evaluations < cold.evaluations,
+                "{codec}: seeded {} vs cold {}",
+                seeded.evaluations,
+                cold.evaluations
+            );
+        }
+        // ZFP declares no model: run() stays cold and unhinted.
+        let zfp = run("zfp", true);
+        assert!(zfp.hint.is_none());
+        assert!(zfp.satisfiable);
+    }
+
+    #[test]
+    fn max_error_target_on_pointwise_codec_accepts_in_one_evaluation() {
+        let d = dataset();
+        let ceiling = d.stats().value_range() * 1e-3;
+        let config = QualitySearchConfig {
+            max_iterations: 16,
+            ..QualitySearchConfig::new(QualityMetric::MaxErrorAtMost(ceiling))
+        };
+        let outcome =
+            FixedQualitySearch::new(registry::build_default("sz").unwrap(), config).run(&d);
+        // bound = target IS the answer for an absolute-error codec, so the
+        // analytic hint is converged and the probe verifies it outright.
+        assert!(outcome.satisfiable);
+        assert_eq!(outcome.evaluations, 1);
+        let report = outcome.hint.unwrap();
+        assert!(report.hit);
+        assert_eq!(report.source, HintSource::Analytic);
+        assert!(outcome.best.quality.as_ref().unwrap().max_abs_error <= ceiling);
     }
 
     #[test]

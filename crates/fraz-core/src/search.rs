@@ -21,6 +21,7 @@ use fraz_data::Dataset;
 use fraz_pool::Pool;
 use fraz_pressio::{CompressionOutcome, Compressor};
 
+use crate::hint::{BoundPredictor, HintQuery, HintReport, HintSource, HintTarget, SearchHint};
 use crate::loss::RatioLoss;
 use crate::optim::{GlobalMinimizer, OptimizerConfig};
 use crate::regions::{make_error_bounds, BoundScale, Region};
@@ -152,6 +153,8 @@ pub struct SearchOutcome {
     pub elapsed: Duration,
     /// Per-region details (empty when the prediction was reused).
     pub regions: Vec<RegionOutcome>,
+    /// What the search did with its seeding hint (`None` on cold runs).
+    pub hint: Option<HintReport>,
 }
 
 /// The FRaZ fixed-ratio search driver for a single compressor.
@@ -159,6 +162,7 @@ pub struct FixedRatioSearch {
     compressor: Arc<dyn Compressor>,
     config: SearchConfig,
     pool: Option<Arc<Pool>>,
+    codec_config: String,
 }
 
 impl FixedRatioSearch {
@@ -176,6 +180,7 @@ impl FixedRatioSearch {
             compressor: compressor.into(),
             config,
             pool: None,
+            codec_config: String::new(),
         }
     }
 
@@ -184,6 +189,15 @@ impl FixedRatioSearch {
     /// on its single shared pool.
     pub fn with_pool(mut self, pool: Arc<Pool>) -> Self {
         self.pool = Some(pool);
+        self
+    }
+
+    /// Record the canonical codec-options signature
+    /// (`fraz_pressio::Options::signature`) so predictors keying on
+    /// (codec + options) see the configuration this search actually runs
+    /// with.  Defaults to the empty string (default options).
+    pub fn with_codec_config(mut self, codec_config: impl Into<String>) -> Self {
+        self.codec_config = codec_config.into();
         self
     }
 
@@ -214,41 +228,100 @@ impl FixedRatioSearch {
         (lower, upper.max(lower * (1.0 + 1e-9)))
     }
 
-    /// Algorithm 2: region-parallel training on one dataset.
-    pub fn run(&self, dataset: &Dataset) -> SearchOutcome {
-        self.run_with_prediction(dataset, None)
+    /// This search's objective in predictor-readable form.
+    pub fn hint_target(&self) -> HintTarget {
+        HintTarget::Ratio {
+            target_ratio: self.config.target_ratio,
+            tolerance: self.config.tolerance,
+        }
     }
 
-    /// Algorithm 1: try a predicted error bound first (e.g. the previous
-    /// time-step's answer); fall back to full training when it misses.
+    /// The [`HintQuery`] a [`BoundPredictor`] is consulted with for this
+    /// search on `dataset`.
+    pub fn hint_query<'a>(&'a self, dataset: &'a Dataset) -> HintQuery<'a> {
+        HintQuery {
+            dataset,
+            codec: self.compressor.name(),
+            codec_config: &self.codec_config,
+            target: self.hint_target(),
+        }
+    }
+
+    /// Algorithm 2: region-parallel training on one dataset.
+    pub fn run(&self, dataset: &Dataset) -> SearchOutcome {
+        self.run_with_hint(dataset, None)
+    }
+
+    /// Compatibility shim over [`FixedRatioSearch::run_with_hint`]: a bare
+    /// bound becomes a converged [`HintSource::External`] hint.
     pub fn run_with_prediction(&self, dataset: &Dataset, prediction: Option<f64>) -> SearchOutcome {
+        let hint = prediction.map(|p| SearchHint::converged(p, HintSource::External));
+        self.run_with_hint(dataset, hint.as_ref())
+    }
+
+    /// Consult `predictor` for a hint, run, and report the result back via
+    /// [`BoundPredictor::observe`] so the predictor learns from this search.
+    pub fn run_with_predictor(
+        &self,
+        dataset: &Dataset,
+        predictor: &dyn BoundPredictor,
+    ) -> SearchOutcome {
+        let query = self.hint_query(dataset);
+        let hint = predictor.predict(&query);
+        let outcome = self.run_with_hint(dataset, hint.as_ref());
+        predictor.observe(&query, outcome.error_bound, outcome.feasible);
+        outcome
+    }
+
+    /// Algorithm 1: probe the hinted bound first; fall back to full
+    /// region-parallel training when it misses (narrowed to the hint's
+    /// bracket, if it carries one).
+    pub fn run_with_hint(&self, dataset: &Dataset, hint: Option<&SearchHint>) -> SearchOutcome {
         let start = Instant::now();
         let loss = self.config.loss();
 
-        // Step 1 of Algorithm 1: if a prediction was provided, try it first.
-        let mut probe_evaluations = 0usize;
-        if let Some(p) = prediction {
-            if p > 0.0 {
-                probe_evaluations = 1;
-                if let Ok(outcome) = self.compressor.evaluate(dataset, p, false) {
-                    if loss.is_acceptable(outcome.compression_ratio) {
-                        let best = self.finalize(dataset, p, outcome);
-                        return SearchOutcome {
-                            error_bound: p,
-                            feasible: true,
-                            retrained: false,
-                            evaluations: 1,
-                            elapsed: start.elapsed(),
-                            regions: Vec::new(),
-                            best,
-                        };
-                    }
-                }
+        // Step 1 of Algorithm 1: probe the hint.  When the final quality
+        // pass is requested the probe measures quality directly, so a hint
+        // that lands costs exactly ONE compressor call — the probe *is* the
+        // verify pass — and `evaluations: 1` is the true invocation count.
+        let mut hint_report: Option<HintReport> = None;
+        if let Some(h) = hint.filter(|h| h.is_valid()) {
+            let probe =
+                self.compressor
+                    .evaluate(dataset, h.bound, self.config.measure_final_quality);
+            let hit = probe
+                .as_ref()
+                .is_ok_and(|o| loss.is_acceptable(o.compression_ratio));
+            hint_report = Some(HintReport {
+                source: h.source,
+                bound: h.bound,
+                hit,
+                probes: 1,
+            });
+            if hit {
+                return SearchOutcome {
+                    error_bound: h.bound,
+                    feasible: true,
+                    retrained: false,
+                    evaluations: 1,
+                    elapsed: start.elapsed(),
+                    regions: Vec::new(),
+                    hint: hint_report,
+                    best: probe.expect("hit implies a successful evaluation"),
+                };
             }
         }
+        let probe_evaluations = hint_report.as_ref().map_or(0, |r| r.probes);
 
-        // Step 2: full region-parallel training.
-        let (lower, upper) = self.bound_range(dataset);
+        // Step 2: full region-parallel training.  A hint bracket narrows
+        // the searched range (clipped to the compressor's valid range).
+        let (mut lower, mut upper) = self.bound_range(dataset);
+        if let Some((blo, bhi)) = hint.and_then(|h| h.bracket) {
+            let (nlo, nhi) = (lower.max(blo), upper.min(bhi));
+            if nlo < nhi {
+                (lower, upper) = (nlo, nhi);
+            }
+        }
         let regions = make_error_bounds(
             lower,
             upper,
@@ -340,6 +413,7 @@ impl FixedRatioSearch {
             evaluations,
             elapsed: start.elapsed(),
             regions: regions_out,
+            hint: hint_report,
         }
     }
 
@@ -444,8 +518,9 @@ impl FixedRatioSearch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hint::LastConverged;
     use fraz_data::Dims;
-    use fraz_pressio::registry;
+    use fraz_pressio::{registry, PressioError};
 
     fn smooth_field() -> Dataset {
         let (nz, ny, nx) = (8usize, 20usize, 20usize);
@@ -593,6 +668,154 @@ mod tests {
         )
         .run(&dataset);
         assert_eq!(serial.feasible, parallel.feasible);
+    }
+
+    /// A deterministic codec whose ratio is a known monotone function of the
+    /// bound, counting every `compress` call — the ground truth against
+    /// which `evaluations` accounting is pinned exactly.
+    struct CountingCodec {
+        calls: AtomicUsize,
+        original: Dataset,
+    }
+
+    impl CountingCodec {
+        const LO: f64 = 1e-6;
+        const HI: f64 = 1.0;
+
+        fn new(original: Dataset) -> Self {
+            Self {
+                calls: AtomicUsize::new(0),
+                original,
+            }
+        }
+
+        fn ratio_at(bound: f64) -> f64 {
+            1.0 + 99.0 * ((bound / Self::LO).ln() / (Self::HI / Self::LO).ln())
+        }
+
+        /// The bound at which [`CountingCodec::ratio_at`] equals `ratio`.
+        fn bound_for(ratio: f64) -> f64 {
+            Self::LO * (((ratio - 1.0) / 99.0) * (Self::HI / Self::LO).ln()).exp()
+        }
+    }
+
+    impl fraz_pressio::Compressor for CountingCodec {
+        fn name(&self) -> &str {
+            "counting"
+        }
+        fn supports_dims(&self, _dims: &Dims) -> bool {
+            true
+        }
+        fn bound_range(&self, _dataset: &Dataset) -> (f64, f64) {
+            (Self::LO, Self::HI)
+        }
+        fn compress(&self, dataset: &Dataset, bound: f64) -> Result<Vec<u8>, PressioError> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            let bytes = (dataset.byte_size() as f64 / Self::ratio_at(bound)).ceil() as usize;
+            Ok(vec![0u8; bytes.max(1)])
+        }
+        fn decompress(&self, _data: &[u8]) -> Result<Dataset, PressioError> {
+            Ok(self.original.clone())
+        }
+    }
+
+    fn counting_search(
+        target: f64,
+        measure_final_quality: bool,
+    ) -> (FixedRatioSearch, Arc<CountingCodec>) {
+        let codec = Arc::new(CountingCodec::new(smooth_field()));
+        let config = SearchConfig {
+            regions: 4,
+            max_iterations: 16,
+            threads: 1, // serial: the region race is deterministic
+            measure_final_quality,
+            ..SearchConfig::new(target, 0.1)
+        };
+        let search = FixedRatioSearch::new(codec.clone() as Arc<dyn Compressor>, config);
+        (search, codec)
+    }
+
+    #[test]
+    fn hinted_hit_costs_exactly_one_compression() {
+        let dataset = smooth_field();
+        for mfq in [false, true] {
+            let (search, codec) = counting_search(10.0, mfq);
+            let hint = SearchHint::converged(CountingCodec::bound_for(10.0), HintSource::TuneCache);
+            let outcome = search.run_with_hint(&dataset, Some(&hint));
+            assert!(outcome.feasible && !outcome.retrained);
+            // The probe IS the verify pass: one compressor call total, and
+            // `evaluations` reports that true count (the pre-refactor code
+            // spent a second, uncounted call on the quality pass).
+            assert_eq!(outcome.evaluations, 1, "mfq={mfq}");
+            assert_eq!(codec.calls.load(Ordering::Relaxed), 1, "mfq={mfq}");
+            assert_eq!(outcome.best.quality.is_some(), mfq);
+            let report = outcome.hint.expect("hinted run reports its hint");
+            assert!(report.hit);
+            assert_eq!(report.probes, 1);
+            assert_eq!(report.source, HintSource::TuneCache);
+            assert!(outcome.regions.is_empty());
+        }
+    }
+
+    #[test]
+    fn near_miss_counts_probe_plus_training_exactly() {
+        let dataset = smooth_field();
+        let (search, codec) = counting_search(10.0, false);
+        // A hint whose ratio (≈1) is far outside the window: the probe runs,
+        // misses, and the full training race follows.
+        let hint = SearchHint::converged(CountingCodec::LO, HintSource::External);
+        let outcome = search.run_with_hint(&dataset, Some(&hint));
+        assert!(outcome.retrained && outcome.feasible);
+        let report = outcome.hint.expect("missed hint still reported");
+        assert!(!report.hit);
+        assert_eq!(report.probes, 1);
+        // Every compress call — the missed probe AND the training
+        // evaluations — is accounted for, exactly.
+        assert_eq!(outcome.evaluations, codec.calls.load(Ordering::Relaxed));
+        assert!(outcome.evaluations > 1);
+    }
+
+    #[test]
+    fn cold_run_counts_every_compression_exactly() {
+        let dataset = smooth_field();
+        let (search, codec) = counting_search(10.0, false);
+        let outcome = search.run(&dataset);
+        assert!(outcome.retrained);
+        assert!(outcome.hint.is_none(), "cold runs carry no hint report");
+        assert_eq!(outcome.evaluations, codec.calls.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn hint_bracket_narrows_the_fallback_range() {
+        let dataset = smooth_field();
+        let (search, _) = counting_search(10.0, false);
+        let answer = CountingCodec::bound_for(10.0);
+        // A missing hint bound with a tight bracket around the answer: the
+        // fallback race must stay inside the bracket and still converge.
+        let hint = SearchHint::seed(CountingCodec::LO, HintSource::Analytic)
+            .with_bracket(answer / 10.0, answer * 10.0);
+        let outcome = search.run_with_hint(&dataset, Some(&hint));
+        assert!(outcome.feasible);
+        for region in &outcome.regions {
+            assert!(region.region.lower >= answer / 10.0 * (1.0 - 1e-9));
+            assert!(region.region.upper <= answer * 10.0 * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn predictor_round_trip_learns_and_reuses() {
+        let dataset = smooth_field();
+        let (search, codec) = counting_search(10.0, false);
+        let predictor = LastConverged::new(HintSource::WarmStart);
+        let first = search.run_with_predictor(&dataset, &predictor);
+        assert!(first.retrained && first.feasible);
+        assert_eq!(predictor.bound(), Some(first.error_bound));
+        let before = codec.calls.load(Ordering::Relaxed);
+        let second = search.run_with_predictor(&dataset, &predictor);
+        assert!(!second.retrained);
+        assert_eq!(second.evaluations, 1);
+        assert_eq!(codec.calls.load(Ordering::Relaxed), before + 1);
+        assert_eq!(second.hint.unwrap().source, HintSource::WarmStart);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod descriptor;
 pub mod options;
 pub mod registry;
 
-pub use descriptor::{BoundKind, CodecDescriptor, DimRange, OptionDescriptor};
+pub use descriptor::{BoundKind, CodecDescriptor, DimRange, OptionDescriptor, PsnrBoundModel};
 pub use options::{OptionKind, OptionValue, Options};
 pub use registry::{Registry, RegistryError};
 

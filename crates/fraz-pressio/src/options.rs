@@ -206,6 +206,23 @@ impl Options {
         self.values.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Canonical one-line signature of this bag: `key=value` pairs joined by
+    /// `,` in sorted key order (empty string for an empty bag).  Two bags
+    /// compare equal iff their signatures do, so the signature is usable as
+    /// a cache-key component (the tuning cache keys on it).
+    pub fn signature(&self) -> String {
+        let mut out = String::new();
+        for (key, value) in self.iter() {
+            if !out.is_empty() {
+                out.push(',');
+            }
+            out.push_str(key);
+            out.push('=');
+            out.push_str(&value.to_string());
+        }
+        out
+    }
+
     /// Get a floating-point option, converting from integer if needed.
     pub fn get_f64(&self, key: &str) -> Option<f64> {
         match self.values.get(key)? {
@@ -309,6 +326,19 @@ mod tests {
         assert_eq!(opts.remove("a"), Some(OptionValue::U64(2)));
         assert!(!opts.contains_key("a"));
         assert_eq!(opts.remove("a"), None);
+    }
+
+    #[test]
+    fn signature_is_canonical_and_order_independent() {
+        assert_eq!(Options::new().signature(), "");
+        let a = Options::new().with("sz:block_size", 6u64).with("mode", "x");
+        let b = Options::new().with("mode", "x").with("sz:block_size", 6u64);
+        // Insertion order does not matter — the signature is sorted.
+        assert_eq!(a.signature(), b.signature());
+        assert_eq!(a.signature(), "mode=x,sz:block_size=6");
+        // Any differing value produces a different signature.
+        let c = Options::new().with("mode", "y").with("sz:block_size", 6u64);
+        assert_ne!(a.signature(), c.signature());
     }
 
     #[test]

@@ -58,7 +58,8 @@ pub use grid::ChunkGrid;
 pub use reader::ArrayReader;
 pub use store::{CountingStore, FsStore, MemoryStore, Store};
 pub use writer::{
-    write_array, write_array_on, ChunkReport, ChunkTarget, StoreWriteConfig, WriteReport,
+    write_array, write_array_on, write_array_seeded, ChunkReport, ChunkTarget, StoreWriteConfig,
+    WriteReport,
 };
 
 /// Everything that can go wrong in the store layer.

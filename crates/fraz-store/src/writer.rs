@@ -8,19 +8,23 @@
 //! [`FixedQualitySearch`], and [`ChunkTarget::FixedBound`] skips the search
 //! (useful for deterministic fixtures and raw-throughput benchmarks).
 //!
-//! Ratio searches warm-start from the most recently converged bound of the
-//! same write (an atomic shared across the chunk tasks): time-adjacent and
-//! space-adjacent chunks of a physical field usually want similar bounds, so
-//! the prediction probe of
-//! [`FixedRatioSearch::run_with_prediction`] frequently replaces the whole
-//! bracketing race with a single evaluation.
+//! Chunk searches are seeded through `fraz-core`'s
+//! [`SearchHint`](fraz_core::SearchHint) layer.  Ratio chunks warm-start
+//! from the most recently converged bound of the same write (a shared
+//! [`LastConverged`] slot): time-adjacent and space-adjacent chunks of a
+//! physical field usually want similar bounds, so the hint probe frequently
+//! replaces the whole bracketing race with a single evaluation.  An
+//! external [`BoundPredictor`] — typically the `fraz-tune` persistent cache
+//! via [`write_array_seeded`] — is consulted *before* the warm-start slot
+//! (its per-chunk fingerprints are more specific) and observes every
+//! converged chunk bound, for both ratio and quality targets.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fraz_core::{
-    FixedQualitySearch, FixedRatioSearch, QualityMetric, QualitySearchConfig, SearchConfig,
+    BoundPredictor, FixedQualitySearch, FixedRatioSearch, HintSource, LastConverged,
+    PredictorChain, QualityMetric, QualitySearchConfig, SearchConfig,
 };
 use fraz_data::Dataset;
 use fraz_pool::Pool;
@@ -187,13 +191,30 @@ struct ChunkOut {
     feasible: bool,
 }
 
-/// The shared warm-start slot: the bits of the most recently converged
-/// bound, or 0 when no chunk has converged yet (bounds are always > 0, so
-/// the zero pattern is unambiguous).
-fn load_prediction(slot: &AtomicU64) -> Option<f64> {
-    match slot.load(Ordering::Relaxed) {
-        0 => None,
-        bits => Some(f64::from_bits(bits)),
+/// The seeding state one write shares across its chunk tasks.
+struct ChunkSeeds {
+    /// For ratio chunks: external predictor (if any) chained in front of
+    /// the per-write warm-start slot.
+    ratio: PredictorChain,
+    /// For quality chunks: the external predictor alone (quality searches
+    /// already seed themselves analytically; the warm-start slot's ratio
+    /// bounds would be meaningless for a PSNR target).
+    external: Option<Arc<dyn BoundPredictor>>,
+}
+
+impl ChunkSeeds {
+    fn new(config: &StoreWriteConfig, external: Option<Arc<dyn BoundPredictor>>) -> Self {
+        let mut predictors: Vec<Arc<dyn BoundPredictor>> = Vec::new();
+        if let Some(external) = &external {
+            predictors.push(Arc::clone(external));
+        }
+        if config.warm_start {
+            predictors.push(Arc::new(LastConverged::new(HintSource::WarmStart)));
+        }
+        Self {
+            ratio: PredictorChain::new(predictors),
+            external,
+        }
     }
 }
 
@@ -214,7 +235,7 @@ fn compress_chunk(
     chunk: &Dataset,
     config: &StoreWriteConfig,
     pool: Option<&Arc<Pool>>,
-    warm: &AtomicU64,
+    seeds: &ChunkSeeds,
 ) -> Result<ChunkOut, StoreError> {
     if !codec.supports_dims(&chunk.dims) {
         return Err(StoreError::Unsupported(format!(
@@ -240,30 +261,31 @@ fn compress_chunk(
             search_config.max_iterations = config.max_iterations;
             search_config.max_error_bound = config.max_error_bound;
             search_config.measure_final_quality = false;
-            let mut search = FixedRatioSearch::new(codec.clone(), search_config);
+            let mut search = FixedRatioSearch::new(codec.clone(), search_config)
+                .with_codec_config(config.options.signature());
             if let Some(pool) = pool {
                 search = search.with_pool(pool.clone());
             }
-            let prediction = if config.warm_start {
-                load_prediction(warm)
+            let outcome = if seeds.ratio.is_empty() {
+                search.run(chunk)
             } else {
-                None
+                search.run_with_predictor(chunk, &seeds.ratio)
             };
-            let outcome = search.run_with_prediction(chunk, prediction);
-            if config.warm_start && outcome.feasible {
-                warm.store(outcome.error_bound.to_bits(), Ordering::Relaxed);
-            }
             (outcome.error_bound, outcome.evaluations, outcome.feasible)
         }
         ChunkTarget::MinPsnr(psnr) => {
             let mut search_config = QualitySearchConfig::new(QualityMetric::PsnrAtLeast(psnr));
             search_config.max_iterations = config.max_iterations;
             search_config.max_error_bound = config.max_error_bound;
-            let mut search = FixedQualitySearch::new(codec.clone(), search_config);
+            let mut search = FixedQualitySearch::new(codec.clone(), search_config)
+                .with_codec_config(config.options.signature());
             if let Some(pool) = pool {
                 search = search.with_pool(pool.clone());
             }
-            let outcome = search.run(chunk);
+            let outcome = match &seeds.external {
+                Some(external) => search.run_with_predictor(chunk, external.as_ref()),
+                None => search.run(chunk),
+            };
             (
                 outcome.error_bound,
                 outcome.evaluations,
@@ -288,6 +310,7 @@ fn write_array_impl(
     dataset: &Dataset,
     config: &StoreWriteConfig,
     pool: Option<Arc<Pool>>,
+    external: Option<Arc<dyn BoundPredictor>>,
 ) -> Result<WriteReport, StoreError> {
     let start = Instant::now();
     let grid = ChunkGrid::new(dataset.dims.as_slice(), &config.chunk_shape)?;
@@ -302,20 +325,20 @@ fn write_array_impl(
     }
 
     let n_chunks = grid.n_chunks();
-    let warm = AtomicU64::new(0);
+    let seeds = ChunkSeeds::new(config, external);
     let mut slots: Vec<Option<Result<ChunkOut, StoreError>>> = Vec::with_capacity(n_chunks);
     slots.resize_with(n_chunks, || None);
     {
         let grid = &grid;
         let codec = &codec;
-        let warm = &warm;
+        let seeds = &seeds;
         let search_pool = pool.as_ref();
         let scope_pool: &Pool = pool.as_deref().unwrap_or_else(|| fraz_pool::global());
         scope_pool.scope(|scope| {
             for (idx, slot) in slots.iter_mut().enumerate() {
                 scope.spawn(move || {
                     let chunk = chunk_dataset(dataset, grid, idx);
-                    *slot = Some(compress_chunk(codec, &chunk, config, search_pool, warm));
+                    *slot = Some(compress_chunk(codec, &chunk, config, search_pool, seeds));
                 });
             }
         });
@@ -381,7 +404,7 @@ pub fn write_array(
     dataset: &Dataset,
     config: &StoreWriteConfig,
 ) -> Result<WriteReport, StoreError> {
-    write_array_impl(store, key, dataset, config, None)
+    write_array_impl(store, key, dataset, config, None, None)
 }
 
 /// [`write_array`] on an explicit shared pool (the CLI passes its
@@ -393,5 +416,21 @@ pub fn write_array_on(
     config: &StoreWriteConfig,
     pool: Arc<Pool>,
 ) -> Result<WriteReport, StoreError> {
-    write_array_impl(store, key, dataset, config, Some(pool))
+    write_array_impl(store, key, dataset, config, Some(pool), None)
+}
+
+/// [`write_array`] seeded by an external [`BoundPredictor`] — typically the
+/// `fraz-tune` persistent cache, so repeat writes of the same fields start
+/// each chunk search at the previously converged bound.  The predictor is
+/// consulted before the per-write warm-start slot and observes every
+/// converged chunk bound.
+pub fn write_array_seeded(
+    store: &dyn Store,
+    key: &str,
+    dataset: &Dataset,
+    config: &StoreWriteConfig,
+    pool: Option<Arc<Pool>>,
+    predictor: Option<Arc<dyn BoundPredictor>>,
+) -> Result<WriteReport, StoreError> {
+    write_array_impl(store, key, dataset, config, pool, predictor)
 }

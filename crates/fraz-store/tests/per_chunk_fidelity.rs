@@ -127,11 +127,22 @@ fn per_chunk_tuning_beats_monolithic_at_equal_or_better_ratio() {
         ratio_pc >= ratio_mono * 0.90,
         "per-chunk ratio {ratio_pc:.2} fell below monolithic {ratio_mono:.2}"
     );
-    // Strictly better worst-case relative fidelity, with a wide margin: the
-    // monolithic bound is dominated by the loud chunks, so the quiet chunks'
-    // normalized error must be far worse than the per-chunk 50 dB posture.
+    // Strictly better worst-case relative fidelity: the monolithic bound is
+    // dominated by the loud chunks, so the quiet chunks' normalized error
+    // must be worse than the per-chunk 50 dB posture.  (The margin is
+    // modest because the seeded quality search lands each chunk *at* the
+    // 50 dB target instead of overshooting it — the slack the old cold
+    // sweep left on the table now shows up as compression ratio instead.)
     assert!(
-        rel_pc < rel_mono / 2.0,
+        rel_pc < rel_mono * 0.75,
         "per-chunk rel err {rel_pc:.3e} not strictly better than monolithic {rel_mono:.3e}"
+    );
+    // And the per-chunk run actually delivers its posture: worst chunk
+    // relative error stays near the 50 dB promise e/R = sqrt(3)*10^(-50/20)
+    // rather than drifting to whatever loose bound still measures >= 50 dB.
+    let promised = 3f64.sqrt() * 10f64.powf(-50.0 / 20.0);
+    assert!(
+        rel_pc <= promised * 2.0,
+        "per-chunk rel err {rel_pc:.3e} strays from the 50 dB posture {promised:.3e}"
     );
 }

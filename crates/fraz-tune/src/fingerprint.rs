@@ -1,0 +1,182 @@
+//! Content fingerprinting: the cache-key component that identifies *what
+//! data* a converged bound belongs to.
+//!
+//! The fingerprint folds together everything the bound→ratio/quality curve
+//! depends on: grid shape, element type, point count, and the raw bit
+//! patterns of a stride sample of the values (at most [`MAX_SAMPLES`]
+//! points, spread across the whole field), plus a coarse value-range /
+//! histogram sketch of that sample.  Any permutation, scaling, or edit of
+//! the sampled values changes the fingerprint; two fresh buffers holding
+//! identical data always agree.  Collisions are possible in principle (the
+//! sample does not cover every point) but harmless: a cache hit is only a
+//! *hint*, and the search verifies the probed bound before accepting it.
+
+use fraz_data::{DataBuffer, Dataset};
+
+/// Largest number of values sampled from a buffer.  4096 f64 reads keep the
+/// fingerprint far cheaper than a single compression pass on real fields.
+pub const MAX_SAMPLES: usize = 4096;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Minimal FNV-1a, enough for a content key (not cryptographic).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// The 64-bit content fingerprint of one dataset.
+pub fn fingerprint(dataset: &Dataset) -> u64 {
+    let mut h = Fnv::new();
+
+    // Shape and element type: a reshaped or retyped field is different data
+    // as far as a compressor's curve is concerned.
+    let dims = dataset.dims.as_slice();
+    h.write_u64(dims.len() as u64);
+    for &d in dims {
+        h.write_u64(d as u64);
+    }
+    h.write_u64(dataset.dtype().byte_width() as u64);
+    h.write_u64(dataset.len() as u64);
+
+    // Stride-sampled raw bits: exact and order-sensitive, so permuted or
+    // rescaled values fingerprint differently.  The stride covers the whole
+    // buffer, not just a prefix.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut histogram = [0u64; 16];
+    let mut fold = |v: f64, bits: u64| {
+        h.write_u64(bits);
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    };
+    match &dataset.buffer {
+        DataBuffer::F32(values) => {
+            let stride = (values.len() / MAX_SAMPLES).max(1);
+            for v in values.iter().step_by(stride) {
+                fold(f64::from(*v), u64::from(v.to_bits()));
+            }
+        }
+        DataBuffer::F64(values) => {
+            let stride = (values.len() / MAX_SAMPLES).max(1);
+            for v in values.iter().step_by(stride) {
+                fold(*v, v.to_bits());
+            }
+        }
+    }
+
+    // Value range plus a 16-bin histogram of the sample — the cheap
+    // entropy sketch.  Redundant given the exact bits above, but it keeps
+    // the key meaningful if the sampling policy ever coarsens.
+    if lo.is_finite() && hi > lo {
+        let span = hi - lo;
+        let mut bucket = |v: f64| {
+            if v.is_finite() {
+                let t = (((v - lo) / span) * 16.0).clamp(0.0, 15.0) as usize;
+                histogram[t] += 1;
+            }
+        };
+        match &dataset.buffer {
+            DataBuffer::F32(values) => {
+                let stride = (values.len() / MAX_SAMPLES).max(1);
+                for v in values.iter().step_by(stride) {
+                    bucket(f64::from(*v));
+                }
+            }
+            DataBuffer::F64(values) => {
+                let stride = (values.len() / MAX_SAMPLES).max(1);
+                for v in values.iter().step_by(stride) {
+                    bucket(*v);
+                }
+            }
+        }
+        h.write_u64(lo.to_bits());
+        h.write_u64(hi.to_bits());
+        for c in histogram {
+            h.write_u64(c);
+        }
+    }
+
+    h.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fraz_data::Dims;
+
+    fn field(values: Vec<f32>) -> Dataset {
+        let n = values.len();
+        Dataset::from_f32("app", "f", 0, Dims::d1(n), values)
+    }
+
+    #[test]
+    fn identical_data_in_fresh_buffers_agrees() {
+        let values: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.37).sin()).collect();
+        let a = field(values.clone());
+        let mut b = field(values);
+        // Metadata that does not affect the curve must not affect the key.
+        b.application = "other".into();
+        b.field = "g".into();
+        b.timestep = 9;
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn permuted_scaled_or_edited_data_differs() {
+        let values: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.37).sin()).collect();
+        let base = fingerprint(&field(values.clone()));
+
+        let mut permuted = values.clone();
+        permuted.swap(1, 997);
+        assert_ne!(base, fingerprint(&field(permuted)));
+
+        let scaled: Vec<f32> = values.iter().map(|v| v * 2.0).collect();
+        assert_ne!(base, fingerprint(&field(scaled)));
+
+        let mut edited = values.clone();
+        edited[500] += 1e-3;
+        assert_ne!(base, fingerprint(&field(edited)));
+
+        // Same values, different shape.
+        let d1 = Dataset::from_f32("a", "f", 0, Dims::d1(16), vec![1.0; 16]);
+        let d2 = Dataset::from_f32("a", "f", 0, Dims::d2(4, 4), vec![1.0; 16]);
+        assert_ne!(fingerprint(&d1), fingerprint(&d2));
+
+        // Same values, different element type.
+        let f32d = Dataset::from_f32("a", "f", 0, Dims::d1(4), vec![1.0, 2.0, 3.0, 4.0]);
+        let f64d = Dataset::from_f64("a", "f", 0, Dims::d1(4), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_ne!(fingerprint(&f32d), fingerprint(&f64d));
+    }
+
+    #[test]
+    fn large_fields_sample_at_a_bounded_cost() {
+        // More points than MAX_SAMPLES: the stride covers the tail, so a
+        // change far past the sample cap can still flip the fingerprint
+        // when it lands on a sampled index.
+        let n = MAX_SAMPLES * 4;
+        let values: Vec<f32> = (0..n).map(|i| (i as f32 * 0.01).cos()).collect();
+        let base = fingerprint(&field(values.clone()));
+        let mut tail_edit = values;
+        let idx = n - 4; // stride is 4, so this index is sampled
+        tail_edit[idx] += 1.0;
+        assert_ne!(base, fingerprint(&field(tail_edit)));
+    }
+}

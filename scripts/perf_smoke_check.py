@@ -30,6 +30,11 @@ one invocation (replacing the single --group/--id pair):
         --check store_throughput/write_fixed_bound \
         --check store_throughput/read_full \
         --check store_throughput/read_region_slab
+
+Rows whose baseline carries an `evaluations` count (the search_sensitivity
+group) are checked the other way around — lower is better, and the recorded
+count must stay under the baseline plus the tolerance.  Evaluation counts
+are deterministic, so these rows catch any seeding regression exactly.
 """
 
 import argparse
@@ -37,7 +42,7 @@ import json
 import sys
 
 
-def load_row(path, group, bench_id):
+def load_row(path, group, bench_id, metric="mib_per_s"):
     last = None
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
@@ -49,9 +54,46 @@ def load_row(path, group, bench_id):
                 last = row  # keep the most recent matching row
     if last is None:
         sys.exit(f"error: no row group={group!r} id={bench_id!r} in {path}")
-    if "mib_per_s" not in last:
-        sys.exit(f"error: row {group}/{bench_id} in {path} has no mib_per_s")
+    if metric is not None and metric not in last:
+        sys.exit(f"error: row {group}/{bench_id} in {path} has no {metric}")
     return last
+
+
+def check_pair(recorded_path, baseline_path, group, bench_id, max_regression):
+    """Floor-check one GROUP/ID row.  The baseline row's metric decides the
+    direction: `mib_per_s` is higher-is-better (throughput floor),
+    `evaluations` is lower-is-better (search-effort ceiling)."""
+    name = f"{group}/{bench_id}"
+    baseline = load_row(baseline_path, group, bench_id, metric=None)
+    if "evaluations" in baseline:
+        recorded = load_row(recorded_path, group, bench_id, metric="evaluations")
+        # Evaluation counts are deterministic on one platform; the slack
+        # only absorbs cross-platform float rounding in the searches.
+        ceiling = baseline["evaluations"] * (1.0 + max_regression)
+        print(
+            f"{name}: recorded {recorded['evaluations']} evaluation(s), "
+            f"baseline {baseline['evaluations']}, ceiling {ceiling:.1f}"
+        )
+        if recorded["evaluations"] > ceiling:
+            sys.exit(
+                f"error: {name} spent more than "
+                f"{max_regression:.0%} above the committed evaluation baseline"
+            )
+        return
+    if "mib_per_s" not in baseline:
+        sys.exit(f"error: row {name} in {baseline_path} has no mib_per_s")
+    recorded = load_row(recorded_path, group, bench_id)
+    floor = baseline["mib_per_s"] * (1.0 - max_regression)
+    print(
+        f"{name}: recorded {recorded['mib_per_s']:.1f} MiB/s, "
+        f"baseline {baseline['mib_per_s']:.1f} MiB/s, "
+        f"floor {floor:.1f} MiB/s"
+    )
+    if recorded["mib_per_s"] < floor:
+        sys.exit(
+            f"error: {name} regressed more than "
+            f"{max_regression:.0%} below the committed baseline"
+        )
 
 
 def main():
@@ -106,22 +148,9 @@ def main():
         pairs = [(args.group, args.bench_id)]
 
     for group, bench_id in pairs:
-        recorded = load_row(args.recorded, group, bench_id)
-        baseline = load_row(args.baseline, group, bench_id)
-
-        floor = baseline["mib_per_s"] * (1.0 - args.max_regression)
-        name = f"{group}/{bench_id}"
-        print(
-            f"{name}: recorded {recorded['mib_per_s']:.1f} MiB/s, "
-            f"baseline {baseline['mib_per_s']:.1f} MiB/s, "
-            f"floor {floor:.1f} MiB/s"
-        )
-        if recorded["mib_per_s"] < floor:
-            sys.exit(
-                f"error: {name} regressed more than "
-                f"{args.max_regression:.0%} below the committed baseline"
-            )
+        check_pair(args.recorded, args.baseline, group, bench_id, args.max_regression)
     if args.speedup_vs_id is not None:
+        name = f"{args.group}/{args.bench_id}"
         recorded = load_row(args.recorded, args.group, args.bench_id)
         vs_group = args.speedup_vs_group or args.group
         reference = load_row(args.recorded, vs_group, args.speedup_vs_id)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Assert that a --tune-cache warm run spends far fewer search evaluations
+than the cold run that populated the cache.
+
+Both inputs are `fraz run --out` JSONL files (one
+`{"experiment":"fraz_cli_run","row":{...}}` record per field).  The script
+sums `row.evaluations` over each file and fails unless the warm total
+dropped by at least --min-drop (default 0.5, i.e. half the cold effort).
+Evaluation counts are deterministic, so this is a sharp check, not a noisy
+wall-clock one.
+
+Usage:
+    fraz run --config m.toml --tune-cache DIR --out cold.jsonl
+    fraz run --config m.toml --tune-cache DIR --out warm.jsonl
+    tune_cache_check.py cold.jsonl warm.jsonl [--min-drop 0.5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def total_evaluations(path):
+    total = 0
+    rows = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            row = record.get("row", {})
+            total += int(row.get("evaluations", 0))
+            rows += 1
+    if rows == 0:
+        sys.exit(f"error: no run records in {path}")
+    return total, rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("cold", help="JSONL from the cache-populating run")
+    parser.add_argument("warm", help="JSONL from the cache-seeded rerun")
+    parser.add_argument(
+        "--min-drop",
+        type=float,
+        default=0.5,
+        help="required fractional drop in total evaluations (default 0.5)",
+    )
+    args = parser.parse_args()
+
+    cold, cold_rows = total_evaluations(args.cold)
+    warm, warm_rows = total_evaluations(args.warm)
+    if cold_rows != warm_rows:
+        sys.exit(
+            f"error: field counts differ ({cold_rows} cold vs {warm_rows} "
+            "warm) — the runs are not comparable"
+        )
+    if cold == 0:
+        sys.exit(f"error: cold run in {args.cold} recorded no evaluations")
+
+    drop = 1.0 - warm / cold
+    print(
+        f"tune-cache: {cold} cold evaluation(s) -> {warm} warm "
+        f"({drop:.0%} drop over {cold_rows} field(s), "
+        f"required >= {args.min_drop:.0%})"
+    )
+    if drop < args.min_drop:
+        sys.exit(
+            f"error: warm run only dropped evaluations by {drop:.0%} "
+            f"(required {args.min_drop:.0%}) — the tuning cache is not "
+            "seeding the searches"
+        )
+    print("ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -85,6 +85,7 @@ pub use fraz_store as store;
 pub use fraz_sz as sz;
 #[cfg(feature = "szx")]
 pub use fraz_szx as szx;
+pub use fraz_tune as tune;
 #[cfg(feature = "zfp")]
 pub use fraz_zfp as zfp;
 
