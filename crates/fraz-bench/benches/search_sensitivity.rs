@@ -134,9 +134,39 @@ fn evaluation_sensitivity() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Search effort per synthetic scenario regime: the analytic-seeded quality
+/// search and a single-threaded fixed-ratio search over every regime's
+/// canonical 1-D field.  Evaluation counts are deterministic, so the
+/// committed rows are per-scenario ceilings — a regime whose structure
+/// stops matching its seeding assumptions (e.g. the PSNR model drifting on
+/// shocks) shows up as an exact count jump on its own row.
+fn scenario_sensitivity() {
+    let dims = fraz_data::Dims::d1(8192);
+    for config in fraz_scenarios::all_scenarios(fraz_bench::EXPERIMENT_SEED) {
+        let field = config.generate(&dims, fraz_data::DType::F32, 0);
+        let regime = field.descriptor.name;
+
+        let quality = quality_search("sz", true).run(&field.dataset);
+        record_evaluations(&format!("scenario_{regime}_quality"), quality.evaluations);
+
+        // 4:1 is feasible for every regime under sz (even noise reaches it
+        // at a loose bound), so the counts measure convergence, not bailout.
+        let search_config = SearchConfig {
+            measure_final_quality: false,
+            max_iterations: 16,
+            threads: 1,
+            ..SearchConfig::new(4.0, 0.1).with_regions(4)
+        };
+        let ratio = FixedRatioSearch::new(registry::build_default("sz").unwrap(), search_config)
+            .run(&field.dataset);
+        record_evaluations(&format!("scenario_{regime}_ratio"), ratio.evaluations);
+    }
+}
+
 criterion_group!(benches, search_benchmarks);
 
 fn main() {
     benches();
     evaluation_sensitivity();
+    scenario_sensitivity();
 }

@@ -7,6 +7,8 @@
 
 use fraz_data::synthetic::{self, SyntheticDataset};
 use fraz_data::Dataset;
+use fraz_data::{DType, Dims};
+use fraz_scenarios::{all_scenarios, ScenarioField};
 
 use crate::scale::Scale;
 use crate::EXPERIMENT_SEED;
@@ -50,6 +52,22 @@ pub fn exaalt(scale: Scale) -> SyntheticDataset {
 pub fn nyx(scale: Scale) -> SyntheticDataset {
     let (n, steps) = scale.pick((48, 4), (96, 8));
     synthetic::nyx(n, n, n, steps, EXPERIMENT_SEED)
+}
+
+/// Every synthetic scenario regime over the canonical ordering workloads
+/// (1-D and 2-D, f32, the workspace experiment seed) — the exact fields the
+/// `scenario_matrix` oracle test asserts compressibility ordering on, so
+/// the `scenarios` bench baselines and the test suite measure one thing.
+pub fn scenario_fields(scale: Scale) -> Vec<ScenarioField> {
+    let (n1, side) = scale.pick((8192, 64), (1 << 20, 512));
+    let shapes = [Dims::d1(n1), Dims::d2(side, side)];
+    let mut fields = Vec::new();
+    for config in all_scenarios(EXPERIMENT_SEED) {
+        for dims in &shapes {
+            fields.push(config.generate(dims, DType::F32, 0));
+        }
+    }
+    fields
 }
 
 /// The "headline" field each figure uses for an application, mirroring the

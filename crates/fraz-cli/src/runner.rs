@@ -17,6 +17,7 @@ use fraz_core::{
 use fraz_data::manifest::{FieldTarget, Manifest, ManifestError, ResolvedField};
 use fraz_pressio::registry::RegistryError;
 use fraz_pressio::{registry, Options};
+use fraz_scenarios::ScenarioSynthesizer;
 use fraz_tune::CachePredictor;
 
 use crate::report::{FieldRow, RunReport, TuneCacheSummary};
@@ -93,7 +94,7 @@ pub fn run(
     overrides: &RunOverrides,
 ) -> Result<RunReport, RunError> {
     let start = Instant::now();
-    let mut resolved = manifest.resolve(manifest_dir)?;
+    let mut resolved = manifest.resolve_with(manifest_dir, Some(&ScenarioSynthesizer))?;
     let compressor_name = overrides
         .compressor
         .as_deref()

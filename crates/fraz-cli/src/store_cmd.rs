@@ -14,6 +14,7 @@ use fraz_core::BoundPredictor;
 use fraz_data::io::write_raw;
 use fraz_data::manifest::FieldTarget;
 use fraz_pressio::Options;
+use fraz_scenarios::ScenarioSynthesizer;
 use fraz_store::{write_array_seeded, ArrayReader, ChunkTarget, FsStore, Store, StoreWriteConfig};
 use fraz_tune::CachePredictor;
 
@@ -149,7 +150,7 @@ fn cmd_create(args: &[String]) -> u8 {
         Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
         _ => PathBuf::from("."),
     };
-    let resolved = match manifest.resolve(&dir) {
+    let resolved = match manifest.resolve_with(&dir, Some(&ScenarioSynthesizer)) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("fraz: {e}");

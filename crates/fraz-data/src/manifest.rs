@@ -77,9 +77,12 @@ pub struct Manifest {
 
 /// One field of the application: where its bytes live and what to aim for.
 ///
-/// Exactly one of `file`, `files`, or `pattern` must be given.  A multi-file
-/// field is a time series in file order (`files`) or in natural name order
-/// (`pattern`), feeding the orchestrator's time-step prediction reuse.
+/// Exactly one of `file`, `files`, `pattern`, or `generator` must be given.
+/// A multi-file field is a time series in file order (`files`) or in
+/// natural name order (`pattern`), feeding the orchestrator's time-step
+/// prediction reuse.  A `generator` field has no files at all: a
+/// [`FieldSynthesizer`] (the `fraz-scenarios` crate, for the CLI)
+/// synthesizes the series deterministically from `seed` and `steps`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FieldSpec {
     /// Field name, used in reports (e.g. `"CLOUDf"`).
@@ -96,11 +99,32 @@ pub struct FieldSpec {
     /// matches are sorted in natural name order (`t2` before `t10`) and
     /// treated as the time series.
     pub pattern: Option<String>,
+    /// A synthetic scenario name (`"smooth"`, `"turbulence"`, …) instead of
+    /// any file source — the field is generated, not read.
+    pub generator: Option<String>,
+    /// Seed for a `generator` field (default: the synthesizer's own).
+    pub seed: Option<u64>,
+    /// Time-steps to synthesize for a `generator` field (default 1).
+    pub steps: Option<usize>,
     /// Per-field target ratio, overriding the manifest default.
     pub target_ratio: Option<f64>,
     /// Quality-targeted alternative: find the most compressive bound with
     /// PSNR at least this many dB (instead of a fixed-ratio search).
     pub min_psnr: Option<f64>,
+}
+
+/// Synthesizes the series of a `generator` field.
+///
+/// `fraz-data` deliberately knows nothing about the scenario regimes — the
+/// `fraz-scenarios` crate implements this trait and the CLI passes it to
+/// [`Manifest::resolve_with`], keeping the dependency arrow pointing from
+/// scenarios to data.  Implementations must honour the spec's
+/// `dtype`/`dims`/`seed`/`steps` and return one [`Dataset`] per time-step,
+/// with errors phrased for manifest users (they become
+/// [`ManifestError::Invalid`] with the field as context).
+pub trait FieldSynthesizer {
+    /// Generate the field's series (one dataset per time-step).
+    fn synthesize(&self, application: &str, spec: &FieldSpec) -> Result<Vec<Dataset>, String>;
 }
 
 /// What a resolved field asks FRaZ to do.
@@ -219,7 +243,9 @@ impl Manifest {
     ///
     /// Checks, with errors naming the offending field: at least one field;
     /// unique field names; dims arity 1–4 with no zero axis; exactly one of
-    /// `file`/`files`/`pattern`; positive targets; at most one of
+    /// `file`/`files`/`pattern`/`generator` (mixing `file` and `generator`
+    /// gets a dedicated explanation); `seed`/`steps` only alongside
+    /// `generator`; positive targets; at most one of
     /// `target_ratio`/`min_psnr` per field and at least one target
     /// (own or manifest default) for each.
     pub fn validate(&self) -> Result<(), ManifestError> {
@@ -264,7 +290,7 @@ impl Manifest {
                     format!("dims axis {zero_axis} is zero"),
                 ));
             }
-            let sources = [
+            let file_sources = [
                 field.file.is_some(),
                 field.files.is_some(),
                 field.pattern.is_some(),
@@ -272,13 +298,45 @@ impl Manifest {
             .iter()
             .filter(|&&s| s)
             .count();
+            if field.generator.is_some() && file_sources > 0 {
+                // The most tempting mistake gets the most helpful message:
+                // a generator field is file-less by definition.
+                return Err(ManifestError::invalid(
+                    &ctx,
+                    format!(
+                        "`generator = \"{g}\"` synthesizes the field, so it cannot also \
+                         name files — did you mean to drop `file`/`files`/`pattern`, \
+                         or to read files and drop `generator`?",
+                        g = field.generator.as_deref().unwrap_or_default()
+                    ),
+                ));
+            }
+            let sources = file_sources + usize::from(field.generator.is_some());
             if sources != 1 {
                 return Err(ManifestError::invalid(
                     &ctx,
                     format!(
-                        "exactly one of `file`, `files` or `pattern` must be given, found {sources}"
+                        "exactly one of `file`, `files`, `pattern` or `generator` \
+                         must be given, found {sources}"
                     ),
                 ));
+            }
+            if field.generator.is_none() {
+                if let Some(knob) = [
+                    ("seed", field.seed.is_some()),
+                    ("steps", field.steps.is_some()),
+                ]
+                .iter()
+                .find_map(|&(name, set)| set.then_some(name))
+                {
+                    return Err(ManifestError::invalid(
+                        &ctx,
+                        format!("`{knob}` only applies to `generator` fields"),
+                    ));
+                }
+            }
+            if field.steps == Some(0) {
+                return Err(ManifestError::invalid(&ctx, "`steps` must be at least 1"));
             }
             if let Some(files) = &field.files {
                 if files.is_empty() {
@@ -332,12 +390,48 @@ impl Manifest {
     /// Walks the data directory for `pattern` fields (matches sorted by
     /// name), checks each file's size against the declared shape, and
     /// loads the series with the file's position as the time-step index.
+    /// `generator` fields are rejected — use [`Manifest::resolve_with`]
+    /// (the CLI does) to supply a [`FieldSynthesizer`] for them.
     pub fn resolve(&self, manifest_dir: &Path) -> Result<ResolvedManifest, ManifestError> {
+        self.resolve_with(manifest_dir, None)
+    }
+
+    /// [`Manifest::resolve`], with `generator` fields synthesized by
+    /// `synthesizer` instead of loaded from disk.  Generated series have no
+    /// backing paths ([`ResolvedField::paths`] stays empty).
+    pub fn resolve_with(
+        &self,
+        manifest_dir: &Path,
+        synthesizer: Option<&dyn FieldSynthesizer>,
+    ) -> Result<ResolvedManifest, ManifestError> {
         self.validate()?;
         let root = self.data_root(manifest_dir);
         let mut fields = Vec::with_capacity(self.fields.len());
         for field in &self.fields {
             let ctx = format!("field `{}`", field.name);
+            if let Some(generator) = &field.generator {
+                let Some(synthesizer) = synthesizer else {
+                    return Err(ManifestError::invalid(
+                        &ctx,
+                        format!(
+                            "`generator = \"{generator}\"` needs a field synthesizer; \
+                             this entry point only reads files \
+                             (the `fraz` CLI resolves generator fields)"
+                        ),
+                    ));
+                };
+                let series = synthesizer
+                    .synthesize(&self.application, field)
+                    .map_err(|message| ManifestError::invalid(&ctx, message))?;
+                let target = self.field_target(field);
+                fields.push(ResolvedField {
+                    name: field.name.clone(),
+                    paths: Vec::new(),
+                    series,
+                    target,
+                });
+                continue;
+            }
             let paths: Vec<PathBuf> = if let Some(file) = &field.file {
                 vec![root.join(file)]
             } else if let Some(files) = &field.files {
@@ -386,12 +480,7 @@ impl Manifest {
                 })?;
                 series.push(dataset);
             }
-            let target = match (field.target_ratio, field.min_psnr) {
-                (Some(r), None) => FieldTarget::Ratio(r),
-                (None, Some(p)) => FieldTarget::MinPsnr(p),
-                (None, None) => FieldTarget::Ratio(self.target_ratio.expect("validated above")),
-                (Some(_), Some(_)) => unreachable!("validated above"),
-            };
+            let target = self.field_target(field);
             fields.push(ResolvedField {
                 name: field.name.clone(),
                 paths,
@@ -404,6 +493,17 @@ impl Manifest {
             compressor: self.compressor_name().to_string(),
             fields,
         })
+    }
+
+    /// The per-field objective, with the manifest-level default applied
+    /// (only sound after [`Manifest::validate`]).
+    fn field_target(&self, field: &FieldSpec) -> FieldTarget {
+        match (field.target_ratio, field.min_psnr) {
+            (Some(r), None) => FieldTarget::Ratio(r),
+            (None, Some(p)) => FieldTarget::MinPsnr(p),
+            (None, None) => FieldTarget::Ratio(self.target_ratio.expect("validated above")),
+            (Some(_), Some(_)) => unreachable!("validated above"),
+        }
     }
 }
 
@@ -571,7 +671,7 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(
-            err.contains("exactly one of `file`, `files` or `pattern`"),
+            err.contains("exactly one of `file`, `files`, `pattern` or `generator`"),
             "{err}"
         );
 
@@ -580,6 +680,92 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(err.contains("found 0"), "{err}");
+    }
+
+    #[test]
+    fn file_plus_generator_gets_a_did_you_mean_error() {
+        let both = field_json(r#", "generator": "turbulence""#);
+        let err = Manifest::from_json_str(&minimal_json(&both))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("field `a`"), "{err}");
+        assert!(err.contains("`generator = \"turbulence\"`"), "{err}");
+        assert!(err.contains("did you mean"), "{err}");
+        // The generic count message is reserved for zero/many file sources.
+        assert!(!err.contains("found 2"), "{err}");
+    }
+
+    #[test]
+    fn generator_knobs_require_a_generator() {
+        for knob in [r#", "seed": 7"#, r#", "steps": 3"#] {
+            let err = Manifest::from_json_str(&minimal_json(&field_json(knob)))
+                .unwrap_err()
+                .to_string();
+            assert!(err.contains("only applies to `generator` fields"), "{err}");
+        }
+        let zero_steps = r#"{"name": "a", "dtype": "f32", "dims": [64],
+                             "generator": "noise", "steps": 0}"#;
+        let err = Manifest::from_json_str(&minimal_json(zero_steps))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("`steps` must be at least 1"), "{err}");
+    }
+
+    #[test]
+    fn generator_fields_resolve_only_through_a_synthesizer() {
+        let json = r#"{
+            "application": "synth", "target_ratio": 8.0,
+            "fields": [{"name": "g", "dtype": "f32", "dims": [8],
+                        "generator": "noise", "seed": 3, "steps": 2}]
+        }"#;
+        let manifest = Manifest::from_json_str(json).unwrap();
+
+        // Plain resolve() points at the synthesizer-aware entry point.
+        let err = manifest.resolve(Path::new(".")).unwrap_err().to_string();
+        assert!(err.contains("field `g`"), "{err}");
+        assert!(err.contains("needs a field synthesizer"), "{err}");
+
+        struct Fake;
+        impl FieldSynthesizer for Fake {
+            fn synthesize(
+                &self,
+                application: &str,
+                spec: &FieldSpec,
+            ) -> Result<Vec<Dataset>, String> {
+                let dims = Dims::new(&spec.dims);
+                Ok((0..spec.steps.unwrap_or(1))
+                    .map(|t| {
+                        Dataset::from_f32(
+                            application,
+                            &spec.name,
+                            t,
+                            dims.clone(),
+                            vec![spec.seed.unwrap_or(0) as f32; dims.len()],
+                        )
+                    })
+                    .collect())
+            }
+        }
+        let resolved = manifest.resolve_with(Path::new("."), Some(&Fake)).unwrap();
+        assert_eq!(resolved.fields[0].series.len(), 2);
+        assert!(resolved.fields[0].paths.is_empty(), "no backing files");
+        assert_eq!(resolved.fields[0].series[0].values_f64()[0], 3.0);
+
+        // Synthesizer errors surface as Invalid with the field as context.
+        struct Failing;
+        impl FieldSynthesizer for Failing {
+            fn synthesize(&self, _: &str, _: &FieldSpec) -> Result<Vec<Dataset>, String> {
+                Err("unknown scenario `noise2`".to_string())
+            }
+        }
+        let err = manifest
+            .resolve_with(Path::new("."), Some(&Failing))
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("field `g`: unknown scenario `noise2`"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,405 @@
+//! The six regime generators.
+//!
+//! Everything here is pure `ChaCha8Rng` + IEEE-754 arithmetic over
+//! normalized `[0,1)^d` coordinates, so a `(regime, seed, knobs, dims,
+//! timestep)` tuple always reproduces the same bits.  Values are produced
+//! in `f64`; the caller narrows to the requested dtype and measures the
+//! descriptor statistics from what was actually stored.
+
+use std::f64::consts::TAU;
+
+use fraz_data::synthetic::field_gen::{normal, rng_for};
+use fraz_data::Dims;
+use rand::Rng;
+
+use crate::{GroundTruth, Regime, ScenarioConfig};
+
+pub(crate) struct RawField {
+    pub values: Vec<f64>,
+    pub ground_truth: GroundTruth,
+}
+
+pub(crate) fn generate(config: &ScenarioConfig, dims: &Dims, timestep: usize) -> RawField {
+    match config.regime {
+        Regime::Smooth => smooth(config, dims, timestep),
+        Regime::Turbulence => turbulence(config, dims, timestep),
+        Regime::Oscillatory => oscillatory(config, dims, timestep),
+        Regime::Shock => shock(config, dims, timestep),
+        Regime::Sparse => sparse(config, dims, timestep),
+        Regime::Noise => noise(config, dims, timestep),
+    }
+}
+
+/// Normalized per-axis coordinates of a flat row-major index.  Slot 0 is
+/// the fastest (last) axis, slot `ndims - 1` the slowest (first); unused
+/// slots stay 0.
+#[inline]
+fn coords(shape: &[usize], mut idx: usize, out: &mut [f64; 4]) {
+    for (slot, &len) in shape.iter().rev().enumerate() {
+        out[slot] = (idx % len) as f64 / len as f64;
+        idx /= len;
+    }
+}
+
+/// Rescale so the largest |value| equals `amplitude` *exactly*: the peak
+/// element maps through `±m / m * amplitude = ±amplitude`, and correctly
+/// rounded division keeps every other |value| ≤ amplitude.
+fn normalize_peak(values: &mut [f64], amplitude: f64) {
+    let m = values.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+    if m == 0.0 {
+        return;
+    }
+    for v in values.iter_mut() {
+        *v = *v / m * amplitude;
+    }
+}
+
+/// A travelling sinusoidal mode over normalized coordinates.
+struct Mode {
+    k: [f64; 4],
+    amp: f64,
+    phase: f64,
+    omega: f64,
+}
+
+impl Mode {
+    #[inline]
+    fn eval(&self, c: &[f64; 4], t: f64) -> f64 {
+        let arg = self.k[0] * c[0]
+            + self.k[1] * c[1]
+            + self.k[2] * c[2]
+            + self.k[3] * c[3]
+            + self.phase
+            + self.omega * t;
+        self.amp * arg.sin()
+    }
+}
+
+/// Smooth advection: four low-wavenumber (≤ 1.5 cycles/axis) travelling
+/// cosines plus two wide drifting Gaussian bumps.  Peak-normalized.
+fn smooth(config: &ScenarioConfig, dims: &Dims, timestep: usize) -> RawField {
+    let mut rng = rng_for(config.seed, "scenario/smooth");
+    let t = timestep as f64;
+    let shape = dims.as_slice();
+
+    let modes: Vec<Mode> = (0..4)
+        .map(|m| {
+            let mut k = [0.0; 4];
+            for slot in k.iter_mut() {
+                *slot = rng.gen_range(-1.5..1.5) * TAU;
+            }
+            Mode {
+                k,
+                amp: 1.0 / (1.0 + m as f64),
+                phase: rng.gen_range(0.0..TAU),
+                omega: normal(&mut rng) * 0.2,
+            }
+        })
+        .collect();
+
+    struct Bump {
+        center: [f64; 4],
+        vel: [f64; 4],
+        width: f64,
+        height: f64,
+    }
+    let bumps: Vec<Bump> = (0..2)
+        .map(|_| {
+            let mut center = [0.0; 4];
+            let mut vel = [0.0; 4];
+            for (c, v) in center.iter_mut().zip(vel.iter_mut()) {
+                *c = rng.gen_range(0.0..1.0);
+                *v = rng.gen_range(-0.03..0.03);
+            }
+            Bump {
+                center,
+                vel,
+                width: rng.gen_range(0.22..0.40),
+                height: if rng.gen_bool(0.5) { 0.9 } else { -0.9 },
+            }
+        })
+        .collect();
+
+    let ndims = shape.len();
+    let mut values = Vec::with_capacity(dims.len());
+    let mut c = [0.0f64; 4];
+    for idx in 0..dims.len() {
+        coords(shape, idx, &mut c);
+        let mut v = 0.0;
+        for mode in &modes {
+            v += mode.eval(&c, t);
+        }
+        for bump in &bumps {
+            let mut d2 = 0.0;
+            for a in 0..ndims {
+                let center = (bump.center[a] + bump.vel[a] * t).rem_euclid(1.0);
+                let dx = (c[a] - center).abs();
+                let dx = dx.min(1.0 - dx);
+                d2 += dx * dx;
+            }
+            v += bump.height * (-d2 / (2.0 * bump.width * bump.width)).exp();
+        }
+        values.push(v);
+    }
+    normalize_peak(&mut values, config.amplitude);
+    RawField {
+        values,
+        ground_truth: GroundTruth::default(),
+    }
+}
+
+/// Kolmogorov-like turbulence: `modes` random Fourier modes with
+/// log-uniform wavenumber magnitude in `[4, 64]` and amplitude
+/// `(k/4)^{-slope}`, so energy concentrates at the largest resolved
+/// scales for slope > 0 but broadband structure persists everywhere.  The
+/// wavenumber floor keeps the regime strictly rougher than the smooth one
+/// (≤ 1.5 cycles), which the compressibility chain depends on.
+/// Peak-normalized.
+fn turbulence(config: &ScenarioConfig, dims: &Dims, timestep: usize) -> RawField {
+    let mut rng = rng_for(config.seed, "scenario/turbulence");
+    let t = timestep as f64;
+    let shape = dims.as_slice();
+    let ndims = shape.len();
+    let min_wavenumber: f64 = 4.0;
+    let max_wavenumber: f64 = 64.0;
+
+    let modes: Vec<Mode> = (0..config.modes.max(1))
+        .map(|_| {
+            let u = rng.gen_range(0.0f64..1.0);
+            let kmag = min_wavenumber * (u * (max_wavenumber / min_wavenumber).ln()).exp();
+            let mut dir = [0.0f64; 4];
+            let mut norm = 0.0;
+            for slot in dir.iter_mut().take(ndims) {
+                *slot = normal(&mut rng);
+                norm += *slot * *slot;
+            }
+            let norm = norm.sqrt().max(1e-9);
+            let mut k = [0.0; 4];
+            for a in 0..ndims {
+                k[a] = dir[a] / norm * kmag * TAU;
+            }
+            Mode {
+                k,
+                amp: (kmag / min_wavenumber).powf(-config.spectral_slope)
+                    * (0.5 + rng.gen_range(0.0..1.0)),
+                phase: rng.gen_range(0.0..TAU),
+                omega: normal(&mut rng) * 0.1,
+            }
+        })
+        .collect();
+
+    let mut values = Vec::with_capacity(dims.len());
+    let mut c = [0.0f64; 4];
+    for idx in 0..dims.len() {
+        coords(shape, idx, &mut c);
+        let mut v = 0.0;
+        for mode in &modes {
+            v += mode.eval(&c, t);
+        }
+        values.push(v);
+    }
+    normalize_peak(&mut values, config.amplitude);
+    RawField {
+        values,
+        ground_truth: GroundTruth {
+            spectral_slope: Some(config.spectral_slope),
+            ..GroundTruth::default()
+        },
+    }
+}
+
+/// Multi-channel telemetry: the flat buffer is split into `channels`
+/// contiguous channel slices with log-spaced amplitudes (3 decades),
+/// distinct carrier frequencies, and a slow baseline wander.
+/// Peak-normalized.
+fn oscillatory(config: &ScenarioConfig, dims: &Dims, timestep: usize) -> RawField {
+    assert!(
+        config.channels > 0,
+        "oscillatory scenario needs channels > 0"
+    );
+    let mut rng = rng_for(config.seed, "scenario/oscillatory");
+    let t = timestep as f64;
+    let n = dims.len();
+    let channels = config.channels.min(n).max(1);
+    let denom = (channels - 1).max(1) as f64;
+
+    let mut values = vec![0.0f64; n];
+    let base = n / channels;
+    let rem = n % channels;
+    let mut start = 0;
+    for ch in 0..channels {
+        let len = base + usize::from(ch < rem);
+        let amp = 10f64.powf(-3.0 * ch as f64 / denom);
+        let freq: f64 = rng.gen_range(16.0..48.0);
+        let phase: f64 = rng.gen_range(0.0..TAU);
+        let omega: f64 = rng.gen_range(0.05..0.25);
+        let drift_freq: f64 = rng.gen_range(0.5..2.0);
+        let drift_phase: f64 = rng.gen_range(0.0..TAU);
+        for (i, v) in values[start..start + len].iter_mut().enumerate() {
+            let x = i as f64 / len as f64;
+            let carrier = (TAU * freq * x + phase + omega * t).sin();
+            let baseline = 0.15 * (TAU * drift_freq * x + drift_phase + 0.1 * t).sin();
+            *v = amp * (carrier + baseline);
+        }
+        start += len;
+    }
+    normalize_peak(&mut values, config.amplitude);
+    RawField {
+        values,
+        ground_truth: GroundTruth::default(),
+    }
+}
+
+/// Shock fronts: a gentle smooth base (≤ 0.4·amplitude) plus
+/// `shock_count` alternating-sign step jumps across planar fronts normal
+/// to the slowest axis, at known drifting positions.  Not normalized —
+/// the jump magnitudes are the ground truth.
+fn shock(config: &ScenarioConfig, dims: &Dims, timestep: usize) -> RawField {
+    let mut rng = rng_for(config.seed, "scenario/shock");
+    let t = timestep as f64;
+    let shape = dims.as_slice();
+
+    let modes: Vec<Mode> = (0..3)
+        .map(|_| {
+            let mut k = [0.0; 4];
+            for slot in k.iter_mut() {
+                *slot = rng.gen_range(-2.0..2.0) * TAU;
+            }
+            Mode {
+                k,
+                amp: 0.4 * config.amplitude / 3.0,
+                phase: rng.gen_range(0.0..TAU),
+                omega: normal(&mut rng) * 0.2,
+            }
+        })
+        .collect();
+
+    struct Front {
+        position: f64,
+        jump: f64,
+    }
+    let mut fronts: Vec<Front> = (0..config.shock_count)
+        .map(|i| {
+            let p0: f64 = rng.gen_range(0.05..0.95);
+            let vel: f64 = rng.gen_range(-0.02..0.02);
+            let magnitude = config.amplitude * rng.gen_range(0.4..0.7);
+            Front {
+                position: (p0 + vel * t).rem_euclid(1.0),
+                jump: if i % 2 == 0 { magnitude } else { -magnitude },
+            }
+        })
+        .collect();
+    fronts.sort_by(|a, b| a.position.total_cmp(&b.position));
+
+    let slow_slot = shape.len() - 1;
+    let mut values = Vec::with_capacity(dims.len());
+    let mut c = [0.0f64; 4];
+    for idx in 0..dims.len() {
+        coords(shape, idx, &mut c);
+        let mut v = 0.0;
+        for mode in &modes {
+            v += mode.eval(&c, t);
+        }
+        let u = c[slow_slot];
+        for front in &fronts {
+            if u >= front.position {
+                v += front.jump;
+            }
+        }
+        values.push(v);
+    }
+    RawField {
+        values,
+        ground_truth: GroundTruth {
+            shock_fronts: Some(fronts.iter().map(|f| f.position).collect()),
+            ..GroundTruth::default()
+        },
+    }
+}
+
+/// Sparse field: an exactly-constant background with `blob_count` drifting
+/// compact-support bumps `h·(1 − u²)²` for `u < 1` (exactly zero outside),
+/// so the background fraction is countable during generation.
+/// `blob_count == 0` degenerates to an all-constant field.
+fn sparse(config: &ScenarioConfig, dims: &Dims, timestep: usize) -> RawField {
+    let mut rng = rng_for(config.seed, "scenario/sparse");
+    let t = timestep as f64;
+    let shape = dims.as_slice();
+    let ndims = shape.len();
+
+    struct Blob {
+        center: [f64; 4],
+        vel: [f64; 4],
+        radius: f64,
+        height: f64,
+    }
+    let blobs: Vec<Blob> = (0..config.blob_count)
+        .map(|_| {
+            let mut center = [0.0; 4];
+            let mut vel = [0.0; 4];
+            for (c, v) in center.iter_mut().zip(vel.iter_mut()) {
+                *c = rng.gen_range(0.0..1.0);
+                *v = rng.gen_range(-0.02..0.02);
+            }
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            Blob {
+                center,
+                vel,
+                radius: rng.gen_range(0.08..0.22),
+                height: sign * config.amplitude * rng.gen_range(0.4..1.0),
+            }
+        })
+        .collect();
+
+    let mut values = Vec::with_capacity(dims.len());
+    let mut background_count = 0usize;
+    let mut c = [0.0f64; 4];
+    for idx in 0..dims.len() {
+        coords(shape, idx, &mut c);
+        let mut s = 0.0;
+        for blob in &blobs {
+            let mut u2 = 0.0;
+            for a in 0..ndims {
+                let center = (blob.center[a] + blob.vel[a] * t).rem_euclid(1.0);
+                let dx = (c[a] - center).abs();
+                let dx = dx.min(1.0 - dx) / blob.radius;
+                u2 += dx * dx;
+                if u2 >= 1.0 {
+                    break;
+                }
+            }
+            if u2 < 1.0 {
+                let w = 1.0 - u2;
+                s += blob.height * w * w;
+            }
+        }
+        if s == 0.0 {
+            background_count += 1;
+            values.push(config.background);
+        } else {
+            values.push(config.background + s);
+        }
+    }
+    RawField {
+        values,
+        ground_truth: GroundTruth {
+            constant_fraction: Some(background_count as f64 / dims.len() as f64),
+            background: Some(config.background),
+            ..GroundTruth::default()
+        },
+    }
+}
+
+/// Pure noise: i.i.d. uniform in `(-amplitude, amplitude)`, resampled per
+/// time-step (noise has no temporal coherence to model).
+fn noise(config: &ScenarioConfig, dims: &Dims, timestep: usize) -> RawField {
+    let label = format!("scenario/noise/t{timestep}");
+    let mut rng = rng_for(config.seed, &label);
+    let values = (0..dims.len())
+        .map(|_| rng.gen_range(-config.amplitude..config.amplitude))
+        .collect();
+    RawField {
+        values,
+        ground_truth: GroundTruth::default(),
+    }
+}

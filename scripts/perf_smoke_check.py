@@ -35,6 +35,11 @@ Rows whose baseline carries an `evaluations` count (the search_sensitivity
 group) are checked the other way around — lower is better, and the recorded
 count must stay under the baseline plus the tolerance.  Evaluation counts
 are deterministic, so these rows catch any seeding regression exactly.
+
+Rows whose baseline carries a `ratio` (the scenarios group) are
+higher-is-better floors like throughput, but the quantity is a
+deterministic compression ratio of a fixed synthetic input — so a trip here
+is a real codec or generator change, never machine noise.
 """
 
 import argparse
@@ -62,9 +67,25 @@ def load_row(path, group, bench_id, metric="mib_per_s"):
 def check_pair(recorded_path, baseline_path, group, bench_id, max_regression):
     """Floor-check one GROUP/ID row.  The baseline row's metric decides the
     direction: `mib_per_s` is higher-is-better (throughput floor),
-    `evaluations` is lower-is-better (search-effort ceiling)."""
+    `evaluations` is lower-is-better (search-effort ceiling), and `ratio`
+    is a higher-is-better compression-ratio floor."""
     name = f"{group}/{bench_id}"
     baseline = load_row(baseline_path, group, bench_id, metric=None)
+    if "ratio" in baseline:
+        recorded = load_row(recorded_path, group, bench_id, metric="ratio")
+        # Ratios of fixed inputs are deterministic on one platform; the
+        # slack only absorbs cross-platform float rounding in the codecs.
+        floor = baseline["ratio"] * (1.0 - max_regression)
+        print(
+            f"{name}: recorded ratio {recorded['ratio']:.3f}, "
+            f"baseline {baseline['ratio']:.3f}, floor {floor:.3f}"
+        )
+        if recorded["ratio"] < floor:
+            sys.exit(
+                f"error: {name} compresses more than "
+                f"{max_regression:.0%} worse than the committed ratio baseline"
+            )
+        return
     if "evaluations" in baseline:
         recorded = load_row(recorded_path, group, bench_id, metric="evaluations")
         # Evaluation counts are deterministic on one platform; the slack

@@ -28,6 +28,9 @@
 //! * [`store`] — the chunked array store: a self-describing container with
 //!   per-chunk tuned error bounds and partial (byte-range) decode over
 //!   pluggable storage backends.
+//! * [`scenarios`] — the synthetic workload suite: six seed-deterministic
+//!   field regimes (smooth → noise) with oracle descriptors of known
+//!   ground truth, usable as zero-file `generator` manifest fields.
 //!
 //! The most commonly used registry types are re-exported at the crate root
 //! ([`Registry`], [`CodecDescriptor`], [`OptionDescriptor`], [`BoundKind`],
@@ -80,6 +83,7 @@ pub use fraz_metrics as metrics;
 pub use fraz_mgard as mgard;
 pub use fraz_pool as pool;
 pub use fraz_pressio as pressio;
+pub use fraz_scenarios as scenarios;
 pub use fraz_store as store;
 #[cfg(feature = "sz")]
 pub use fraz_sz as sz;

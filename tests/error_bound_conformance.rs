@@ -15,8 +15,9 @@
 
 use proptest::prelude::*;
 
-use fraz::data::{Dataset, Dims};
+use fraz::data::{DType, Dataset, Dims};
 use fraz::pressio::{registry, BoundKind};
+use fraz::scenarios::{by_name, Regime, ScenarioConfig, REGIMES};
 
 /// Log-spaced absolute bounds; the tightest settings force the codecs into
 /// their exact/lossless fallback paths, which must *still* conform.
@@ -146,6 +147,29 @@ proptest! {
         assert_all_codecs_conform(&dataset);
     }
 
+    /// The named scenario regimes are the workloads the oracle matrix and
+    /// the CLI's zero-file manifests run on; sample them across seeds and
+    /// dimensionalities so codec conformance is pinned on exactly the data
+    /// shapes the rest of the suite trusts.
+    #[test]
+    fn scenario_fields_conform(
+        regime_idx in 0usize..REGIMES.len(),
+        ndims in 1usize..=3,
+        size_seed in 0u64..1000,
+        seed in 0u64..1_000_000,
+        wide in 0u8..2,
+    ) {
+        let dims = dims_for(ndims, size_seed);
+        let dtype = if wide == 1 { DType::F64 } else { DType::F32 };
+        let config = by_name(REGIMES[regime_idx].name()).unwrap().with_seed(seed);
+        let field = config.generate(&dims, dtype, 0);
+        prop_assert!(
+            field.dataset.values_f64().iter().all(|v| v.is_finite()),
+            "scenario generators must never emit NaN/inf"
+        );
+        assert_all_codecs_conform(&field.dataset);
+    }
+
     #[test]
     fn f64_fields_conform(
         ndims in 1usize..=3,
@@ -172,5 +196,32 @@ fn degenerate_fields_conform() {
     }] {
         let dataset = Dataset::from_f64("conformance", "degenerate", 0, Dims::d2(64, 64), values);
         assert_all_codecs_conform(&dataset);
+    }
+}
+
+/// Scenario-specific edge cases, pinned deterministically: a sparse field
+/// with zero blobs degenerates to an all-constant plane (the descriptor
+/// must agree), and a non-zero background shifts every plateau off zero —
+/// both classic traps for blockwise constant detection.
+#[test]
+fn sparse_scenario_edge_cases_conform() {
+    let dims = Dims::d2(64, 64);
+    for (blob_count, background) in [(0, 0.0), (0, 2.5), (5, -1.75)] {
+        let mut config = ScenarioConfig::new(Regime::Sparse);
+        config.blob_count = blob_count;
+        config.background = background;
+        for dtype in [DType::F32, DType::F64] {
+            let field = config.generate(&dims, dtype, 0);
+            let d = &field.descriptor;
+            assert!(field.dataset.values_f64().iter().all(|v| v.is_finite()));
+            if blob_count == 0 {
+                assert_eq!(d.constant_fraction, Some(1.0), "all-constant expected");
+                assert_eq!(d.min, d.max);
+                assert_eq!(d.min, background);
+            } else {
+                assert!(d.constant_fraction.unwrap() > 0.0, "plateaus expected");
+            }
+            assert_all_codecs_conform(&field.dataset);
+        }
     }
 }
