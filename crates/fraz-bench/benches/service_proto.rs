@@ -1,0 +1,111 @@
+//! Criterion benchmarks for the fraz-serve wire protocol: request
+//! encode/decode and frame round-trips at the payload sizes the service
+//! actually moves (a status ping, a 64×64 compress job, a megabyte-class
+//! store blob).  The protocol sits on every job's critical path, so a
+//! slow decoder taxes the whole service; these rows keep it honest.
+//!
+//! `FRAZ_BENCH_SMOKE=1` drops to one timed sample per benchmark; CI
+//! combines it with `FRAZ_BENCH_RECORD_DIR` to guard the committed
+//! baseline rows against large regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use fraz_bench::scale::Scale;
+use fraz_bench::workloads;
+use fraz_serve::proto::{read_frame, write_frame, Request, Response, MAX_FRAME_LEN};
+
+/// One timed sample per point under `FRAZ_BENCH_SMOKE=1` (CI bitrot +
+/// regression guard), ten otherwise.
+fn sample_size() -> usize {
+    if std::env::var_os("FRAZ_BENCH_SMOKE").is_some() {
+        1
+    } else {
+        10
+    }
+}
+
+fn request_corpus() -> Vec<(&'static str, Request)> {
+    let app = workloads::hurricane(Scale::Quick);
+    let dataset = app.field("TCf", 0);
+    vec![
+        ("status", Request::Status),
+        (
+            "compress_field",
+            Request::Compress {
+                deadline_ms: 250,
+                target_ratio: 10.0,
+                tolerance: 0.1,
+                codec: "sz".into(),
+                dataset,
+            },
+        ),
+        (
+            "put_1mib",
+            Request::PutStore {
+                key: "bench/blob".into(),
+                blob: (0..1 << 20).map(|i| (i % 251) as u8).collect(),
+            },
+        ),
+    ]
+}
+
+fn proto_benchmarks(c: &mut Criterion) {
+    // Encode: typed request -> payload bytes.
+    let mut group = c.benchmark_group("service_proto_encode");
+    group.sample_size(sample_size());
+    for (label, request) in request_corpus() {
+        let bytes = request.encode().len() as u64;
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &request,
+            |b, request| {
+                b.iter(|| request.encode());
+            },
+        );
+    }
+    group.finish();
+
+    // Decode: payload bytes -> typed request (the server's hot path; every
+    // hostile-input bound the adversarial suite asserts is paid here).
+    let mut group = c.benchmark_group("service_proto_decode");
+    group.sample_size(sample_size());
+    for (label, request) in request_corpus() {
+        let payload = request.encode();
+        group.throughput(Throughput::Bytes(payload.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &payload,
+            |b, payload| {
+                b.iter(|| Request::decode(payload).unwrap());
+            },
+        );
+    }
+    group.finish();
+
+    // Frame round-trip: write_frame + read_frame over an in-memory wire,
+    // response-side — the reply path of a compress job.
+    let mut group = c.benchmark_group("service_proto_frame_roundtrip");
+    group.sample_size(sample_size());
+    let reply = Response::Compressed {
+        error_bound: 1e-3,
+        ratio: 10.2,
+        feasible: true,
+        evaluations: 9,
+        blob: (0..256 << 10).map(|i| (i % 253) as u8).collect(),
+    };
+    let payload = reply.encode();
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("compressed_reply_256kib", |b| {
+        b.iter(|| {
+            let mut wire = Vec::with_capacity(payload.len() + 4);
+            write_frame(&mut wire, &payload).unwrap();
+            let read = read_frame(&mut &wire[..], MAX_FRAME_LEN).unwrap();
+            Response::decode(&read).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, proto_benchmarks);
+criterion_main!(benches);

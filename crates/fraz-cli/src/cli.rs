@@ -21,6 +21,7 @@ USAGE:
     fraz run --config <manifest.toml|json> [OPTIONS]
     fraz validate --config <manifest.toml|json>
     fraz store <create|info|read> [OPTIONS]   (see `fraz store help`)
+    fraz serve [OPTIONS]                      (see `fraz serve --help`)
     fraz codecs
     fraz help
 
@@ -280,6 +281,7 @@ pub fn run_cli(args: &[String]) -> u8 {
         Some("run") => cmd_run(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("store") => crate::store_cmd::run_store(&args[1..]),
+        Some("serve") => crate::serve_cmd::run_serve(&args[1..]),
         Some("codecs") => cmd_codecs(),
         Some("help") | Some("--help") | Some("-h") => {
             println!("{USAGE}");

@@ -18,8 +18,10 @@
 //! * [`report`] — per-field rows, the aligned table, JSONL records,
 //! * [`store_cmd`] — the `store create`/`info`/`read` subcommands over
 //!   [`fraz_store`] container directories,
-//! * [`cli`] — argument parsing and the `run`/`validate`/`codecs`/`store`
-//!   subcommands.
+//! * [`serve_cmd`] — the `serve` subcommand: the long-running
+//!   [`fraz_serve`] service with signal-driven graceful drain,
+//! * [`cli`] — argument parsing and the `run`/`validate`/`codecs`/`store`/
+//!   `serve` subcommands.
 //!
 //! The manifest schema itself lives in [`fraz_data::manifest`] so library
 //! users can load the same files without the CLI.
@@ -28,6 +30,7 @@ pub mod cli;
 pub mod config;
 pub mod report;
 pub mod runner;
+pub mod serve_cmd;
 pub mod store_cmd;
 pub mod toml;
 

@@ -48,6 +48,7 @@
 //! }
 //! ```
 
+pub mod cancel;
 pub mod hint;
 pub mod loss;
 pub mod online;
@@ -57,6 +58,7 @@ pub mod quality;
 pub mod regions;
 pub mod search;
 
+pub use cancel::CancelToken;
 pub use hint::{
     BoundPredictor, HintQuery, HintReport, HintSource, HintTarget, LastConverged, PredictorChain,
     SearchHint,

@@ -16,6 +16,7 @@
 //! constraint.  (The ratio search's MaxLIPO machinery is unnecessary here —
 //! there is no spiky multi-modal landscape to escape.)
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -25,6 +26,7 @@ use fraz_data::Dataset;
 use fraz_pool::Pool;
 use fraz_pressio::{registry, BoundKind, CompressionOutcome, Compressor};
 
+use crate::cancel::CancelToken;
 use crate::hint::{BoundPredictor, HintQuery, HintReport, HintSource, HintTarget, SearchHint};
 use crate::regions::BoundScale;
 
@@ -114,6 +116,10 @@ pub struct QualitySearchOutcome {
     pub elapsed: Duration,
     /// What the search did with its seeding hint (`None` on cold runs).
     pub hint: Option<HintReport>,
+    /// True when a [`CancelToken`] stopped the search early (deadline or
+    /// explicit cancel): `best` is then the best-so-far acceptable setting,
+    /// not the boundary-polished one.
+    pub deadline_hit: bool,
 }
 
 /// Searches for the most compressive error bound that still satisfies a
@@ -123,6 +129,7 @@ pub struct FixedQualitySearch {
     config: QualitySearchConfig,
     pool: Option<Arc<Pool>>,
     codec_config: String,
+    cancel: Option<CancelToken>,
 }
 
 impl FixedQualitySearch {
@@ -139,7 +146,17 @@ impl FixedQualitySearch {
             config,
             pool: None,
             codec_config: String::new(),
+            cancel: None,
         }
+    }
+
+    /// Cooperatively stop the search when `token` fires (deadline passed or
+    /// explicit cancel).  Checked between compress+measure rounds only, so
+    /// cancellation latency is bounded by one evaluation and the outcome is
+    /// the best-so-far acceptable setting with `deadline_hit: true`.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// Record the canonical codec-options signature
@@ -311,6 +328,12 @@ impl FixedQualitySearch {
                         best: &mut Option<(f64, CompressionOutcome)>,
                         evaluations: &mut usize|
          -> Option<bool> {
+            if self.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                // `None` is the caller-side break signal for every loop
+                // (expansion, bisection), so a fired token stops the search
+                // without another compressor round.
+                return None;
+            }
             let bound = from_x(x).clamp(lower, upper);
             *evaluations += 1;
             match self.compressor.evaluate(dataset, bound, true) {
@@ -357,6 +380,7 @@ impl FixedQualitySearch {
                                 hit: true,
                                 probes: evaluations,
                             }),
+                            deadline_hit: false,
                         };
                     }
                     need_sweep = false;
@@ -433,6 +457,9 @@ impl FixedQualitySearch {
                 .collect();
             let mut sweep_results: Vec<Option<(f64, bool, CompressionOutcome)>> =
                 vec![None; sweep_points];
+            // Tasks a fired cancel token skips are not compressor
+            // invocations; count only the rounds that actually ran.
+            let sweep_ran = AtomicUsize::new(0);
             {
                 let pool: &Pool = match &self.pool {
                     Some(pool) => pool,
@@ -440,8 +467,13 @@ impl FixedQualitySearch {
                 };
                 pool.scope(|scope| {
                     let from_x = &from_x;
+                    let sweep_ran = &sweep_ran;
                     for (slot, &x) in sweep_results.iter_mut().zip(&sweep_xs) {
                         scope.spawn(move || {
+                            if self.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                                return;
+                            }
+                            sweep_ran.fetch_add(1, Ordering::Relaxed);
                             let bound = from_x(x).clamp(lower, upper);
                             if let Ok(outcome) = self.compressor.evaluate(dataset, bound, true) {
                                 let quality = outcome.quality.as_ref().expect("quality requested");
@@ -456,7 +488,7 @@ impl FixedQualitySearch {
             // Fold the sweep in order: track the best acceptable evaluation
             // (highest ratio among those satisfying the constraint) and the
             // bracket around the constraint boundary.
-            evaluations += sweep_points;
+            evaluations += sweep_ran.load(Ordering::Relaxed);
             let mut last_ok: Option<f64> = None;
             let mut first_bad: Option<f64> = None;
             for (&x, result) in sweep_xs.iter().zip(sweep_results.into_iter()) {
@@ -502,6 +534,7 @@ impl FixedQualitySearch {
             }
         }
 
+        let deadline_hit = self.cancel.as_ref().is_some_and(|t| t.is_cancelled());
         match best_acceptable {
             Some((bound, outcome)) => QualitySearchOutcome {
                 error_bound: bound,
@@ -510,6 +543,7 @@ impl FixedQualitySearch {
                 evaluations,
                 elapsed: start.elapsed(),
                 hint: hint_report,
+                deadline_hit,
             },
             None => {
                 // Nothing satisfied the constraint: fall back to the
@@ -533,6 +567,7 @@ impl FixedQualitySearch {
                     evaluations,
                     elapsed: start.elapsed(),
                     hint: hint_report,
+                    deadline_hit,
                 }
             }
         }
@@ -685,6 +720,43 @@ mod tests {
             FixedQualitySearch::new(registry::build_default("sz").unwrap(), config).run(&d);
         assert!(!outcome.satisfiable);
         assert!(outcome.evaluations >= 4);
+    }
+
+    #[test]
+    fn cancelled_token_flags_the_outcome() {
+        let d = dataset();
+        let config = QualitySearchConfig {
+            max_iterations: 20,
+            analytic_seed: false,
+            ..QualitySearchConfig::new(QualityMetric::PsnrAtLeast(60.0))
+        };
+        let token = CancelToken::new();
+        token.cancel();
+        let outcome = FixedQualitySearch::new(registry::build_default("sz").unwrap(), config)
+            .with_cancel(token)
+            .run(&d);
+        assert!(outcome.deadline_hit);
+        // A pre-fired token skips every sweep task and bisection round; the
+        // only possible spend is the unsatisfiable-fallback measurement.
+        assert!(
+            !outcome.satisfiable,
+            "no evaluation ran, so nothing satisfied"
+        );
+    }
+
+    #[test]
+    fn live_token_does_not_flag_the_outcome() {
+        let d = dataset();
+        let config = QualitySearchConfig {
+            max_iterations: 20,
+            ..QualitySearchConfig::new(QualityMetric::PsnrAtLeast(60.0))
+        };
+        let token = CancelToken::with_timeout(std::time::Duration::from_secs(3600));
+        let outcome = FixedQualitySearch::new(registry::build_default("sz").unwrap(), config)
+            .with_cancel(token)
+            .run(&d);
+        assert!(outcome.satisfiable);
+        assert!(!outcome.deadline_hit);
     }
 
     #[test]

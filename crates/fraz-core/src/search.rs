@@ -21,6 +21,7 @@ use fraz_data::Dataset;
 use fraz_pool::Pool;
 use fraz_pressio::{CompressionOutcome, Compressor};
 
+use crate::cancel::CancelToken;
 use crate::hint::{BoundPredictor, HintQuery, HintReport, HintSource, HintTarget, SearchHint};
 use crate::loss::RatioLoss;
 use crate::optim::{GlobalMinimizer, OptimizerConfig};
@@ -155,6 +156,10 @@ pub struct SearchOutcome {
     pub regions: Vec<RegionOutcome>,
     /// What the search did with its seeding hint (`None` on cold runs).
     pub hint: Option<HintReport>,
+    /// True when a [`CancelToken`] stopped the search early (deadline or
+    /// explicit cancel): `best` is then the best-so-far answer, not a
+    /// converged one.
+    pub deadline_hit: bool,
 }
 
 /// The FRaZ fixed-ratio search driver for a single compressor.
@@ -163,6 +168,7 @@ pub struct FixedRatioSearch {
     config: SearchConfig,
     pool: Option<Arc<Pool>>,
     codec_config: String,
+    cancel: Option<CancelToken>,
 }
 
 impl FixedRatioSearch {
@@ -181,7 +187,17 @@ impl FixedRatioSearch {
             config,
             pool: None,
             codec_config: String::new(),
+            cancel: None,
         }
+    }
+
+    /// Cooperatively stop the search when `token` fires (deadline passed or
+    /// explicit cancel).  Checked between compressor evaluations only — a
+    /// single evaluation is the atom of work — so the outcome after a fired
+    /// token is the best-so-far answer with `deadline_hit: true`.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// Run this search's region tasks on `pool` instead of the global
@@ -285,7 +301,8 @@ impl FixedRatioSearch {
         // that lands costs exactly ONE compressor call — the probe *is* the
         // verify pass — and `evaluations: 1` is the true invocation count.
         let mut hint_report: Option<HintReport> = None;
-        if let Some(h) = hint.filter(|h| h.is_valid()) {
+        let token_fired = |this: &Self| this.cancel.as_ref().is_some_and(|t| t.is_cancelled());
+        if let Some(h) = hint.filter(|h| h.is_valid() && !token_fired(self)) {
             let probe =
                 self.compressor
                     .evaluate(dataset, h.bound, self.config.measure_final_quality);
@@ -308,6 +325,7 @@ impl FixedRatioSearch {
                     regions: Vec::new(),
                     hint: hint_report,
                     best: probe.expect("hit implies a successful evaluation"),
+                    deadline_hit: false,
                 };
             }
         }
@@ -404,7 +422,14 @@ impl FixedRatioSearch {
                     })
             }
         };
-        let best = self.finalize(dataset, error_bound, measured);
+        let deadline_hit = token_fired(self);
+        // Skip the extra quality pass when the token already fired: the
+        // caller asked us to stop, so the answer ships as measured.
+        let best = if deadline_hit {
+            measured
+        } else {
+            self.finalize(dataset, error_bound, measured)
+        };
         SearchOutcome {
             error_bound,
             best,
@@ -414,6 +439,7 @@ impl FixedRatioSearch {
             elapsed: start.elapsed(),
             regions: regions_out,
             hint: hint_report,
+            deadline_hit,
         }
     }
 
@@ -431,6 +457,11 @@ impl FixedRatioSearch {
     ) {
         loop {
             if cancel.load(Ordering::Relaxed) {
+                break;
+            }
+            if self.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                // Deadline/cancel: stop every runner, not just this one.
+                cancel.store(true, Ordering::Relaxed);
                 break;
             }
             let index = next.fetch_add(1, Ordering::Relaxed);
@@ -461,15 +492,25 @@ impl FixedRatioSearch {
         // Track the best full outcome seen so the caller can reuse the
         // winning measurement instead of re-compressing after the race.
         let mut best_seen: Option<(f64, CompressionOutcome)> = None;
-        let mut objective = |e: f64| match self.compressor.evaluate(dataset, e, false) {
-            Ok(outcome) => {
-                let l = loss.loss(outcome.compression_ratio);
-                if best_seen.as_ref().is_none_or(|(seen, _)| l < *seen) {
-                    best_seen = Some((l, outcome.clone()));
-                }
-                (l, outcome.compression_ratio)
+        let mut objective = |e: f64| {
+            if self.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                // The minimizer polls `cancel` between evaluations; raising
+                // it here stops this optimization without paying another
+                // compressor call, and the gamma loss can never displace a
+                // real best-so-far observation.
+                cancel.store(true, Ordering::Relaxed);
+                return (loss.gamma, 0.0);
             }
-            Err(_) => (loss.gamma, 0.0),
+            match self.compressor.evaluate(dataset, e, false) {
+                Ok(outcome) => {
+                    let l = loss.loss(outcome.compression_ratio);
+                    if best_seen.as_ref().is_none_or(|(seen, _)| l < *seen) {
+                        best_seen = Some((l, outcome.clone()));
+                    }
+                    (l, outcome.compression_ratio)
+                }
+                Err(_) => (loss.gamma, 0.0),
+            }
         };
         let optimizer = GlobalMinimizer::new(OptimizerConfig {
             max_evaluations: self.config.max_iterations,
@@ -816,6 +857,43 @@ mod tests {
         assert_eq!(second.evaluations, 1);
         assert_eq!(codec.calls.load(Ordering::Relaxed), before + 1);
         assert_eq!(second.hint.unwrap().source, HintSource::WarmStart);
+    }
+
+    #[test]
+    fn cancelled_token_stops_training_before_it_starts() {
+        let dataset = smooth_field();
+        let (search, codec) = counting_search(10.0, false);
+        let token = CancelToken::new();
+        token.cancel();
+        let outcome = search.with_cancel(token).run(&dataset);
+        assert!(outcome.deadline_hit);
+        assert!(!outcome.feasible);
+        // Bounded by the single best-effort measurement, not a full race.
+        assert!(codec.calls.load(Ordering::Relaxed) <= 1);
+    }
+
+    #[test]
+    fn expired_deadline_returns_best_so_far() {
+        let dataset = smooth_field();
+        let (search, codec) = counting_search(10.0, false);
+        let token = CancelToken::with_timeout(Duration::ZERO);
+        let search = search.with_cancel(token);
+        let outcome = search.run(&dataset);
+        assert!(outcome.deadline_hit);
+        let spent = codec.calls.load(Ordering::Relaxed);
+        // Cancellation latency is bounded by one evaluation per runner plus
+        // the final measurement — far below the full race budget.
+        assert!(spent <= 4, "spent {spent} evaluations after expiry");
+    }
+
+    #[test]
+    fn unexpired_token_leaves_search_untouched() {
+        let dataset = smooth_field();
+        let (search, _) = counting_search(10.0, false);
+        let token = CancelToken::with_timeout(Duration::from_secs(3600));
+        let outcome = search.with_cancel(token).run(&dataset);
+        assert!(outcome.feasible);
+        assert!(!outcome.deadline_hit);
     }
 
     #[test]

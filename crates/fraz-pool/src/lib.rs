@@ -334,12 +334,31 @@ impl<'scope> Scope<'scope> {
 pub struct Pool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
+    /// Workers requested but never spawned (thread exhaustion at `new`).
+    failed_workers: usize,
 }
 
 impl Pool {
     /// Create a pool with `threads` workers; `0` means one per available
     /// hardware thread.
+    ///
+    /// Worker-spawn failure (thread exhaustion under load) degrades instead
+    /// of aborting: the pool runs with the workers that did spawn and
+    /// reports the shortfall via [`Pool::failed_workers`].  Even a pool
+    /// whose *every* spawn failed stays usable — [`Pool::scope`] then runs
+    /// its tasks inline on the calling thread.
     pub fn new(threads: usize) -> Self {
+        Self::new_with_spawner(threads, |index, shared| {
+            std::thread::Builder::new()
+                .name(format!("fraz-pool-{index}"))
+                .spawn(move || worker_loop(shared, index))
+        })
+    }
+
+    fn new_with_spawner(
+        threads: usize,
+        mut spawn: impl FnMut(usize, Arc<Shared>) -> std::io::Result<JoinHandle<()>>,
+    ) -> Self {
         let threads = if threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -353,21 +372,34 @@ impl Pool {
             wakeup: Condvar::new(),
             shutdown: AtomicBool::new(false),
         });
-        let handles = (0..threads)
-            .map(|index| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("fraz-pool-{index}"))
-                    .spawn(move || worker_loop(shared, index))
-                    .expect("failed to spawn fraz-pool worker")
-            })
-            .collect();
-        Self { shared, handles }
+        let mut handles = Vec::with_capacity(threads);
+        let mut failed_workers = 0usize;
+        for index in 0..threads {
+            // Indices must stay aligned with `locals`, so a failed slot is
+            // skipped, not re-numbered; its (empty) deque is scanned by
+            // thieves but never fed — `push` only routes to live workers.
+            match spawn(index, Arc::clone(&shared)) {
+                Ok(handle) => handles.push(handle),
+                Err(_) => failed_workers += 1,
+            }
+        }
+        Self {
+            shared,
+            handles,
+            failed_workers,
+        }
     }
 
-    /// Number of worker threads.
+    /// Number of live worker threads.
     pub fn threads(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Number of requested workers that could not be spawned (thread
+    /// exhaustion).  Non-zero means the pool is running degraded; daemons
+    /// should surface this as a warning.
+    pub fn failed_workers(&self) -> usize {
+        self.failed_workers
     }
 
     /// True when the calling thread is one of this pool's workers — i.e.
@@ -402,6 +434,18 @@ impl Pool {
         // already spawned still borrow `'scope` data.
         match self.shared.current_worker() {
             Some(me) => scope.state.wait_helping(&self.shared, me),
+            None if self.handles.is_empty() => {
+                // Fully-degraded pool (every worker spawn failed): nobody
+                // else will ever drain the queues, so run the scope's tasks
+                // inline here.  Spawns from this thread land in the injector
+                // (it is not a worker), so `find_task` always sees them.
+                while scope.state.pending.load(Ordering::Acquire) != 0 {
+                    match self.shared.find_task(None) {
+                        Some(task) => task(),
+                        None => std::thread::yield_now(),
+                    }
+                }
+            }
             None => scope.state.wait_external(),
         }
         let task_panic = lock(&scope.state.panic).take();
@@ -603,6 +647,57 @@ mod tests {
     fn zero_thread_request_falls_back_to_available_parallelism() {
         let pool = Pool::new(0);
         assert!(pool.threads() >= 1);
+    }
+
+    #[test]
+    fn partial_spawn_failure_degrades_and_still_completes_scopes() {
+        let refuse = |index: usize| index % 2 == 1;
+        let pool = Pool::new_with_spawner(4, |index, shared| {
+            if refuse(index) {
+                Err(std::io::Error::other("thread limit reached"))
+            } else {
+                std::thread::Builder::new().spawn(move || worker_loop(shared, index))
+            }
+        });
+        assert_eq!(pool.threads(), 2);
+        assert_eq!(pool.failed_workers(), 2);
+        let mut outputs = vec![0u64; 32];
+        pool.scope(|s| {
+            for (i, out) in outputs.iter_mut().enumerate() {
+                s.spawn(move || *out = i as u64 * 3);
+            }
+        });
+        assert!(outputs.iter().enumerate().all(|(i, o)| *o == i as u64 * 3));
+    }
+
+    #[test]
+    fn total_spawn_failure_runs_scopes_inline() {
+        // Thread exhaustion at its worst: zero workers.  Scopes must still
+        // complete (inline on the caller), including nested spawns.
+        let pool = Pool::new_with_spawner(3, |_, _| Err(std::io::Error::other("no threads left")));
+        assert_eq!(pool.threads(), 0);
+        assert_eq!(pool.failed_workers(), 3);
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    pool.scope(|inner| {
+                        inner.spawn(|| {
+                            counter.fetch_add(10, Ordering::Relaxed);
+                        });
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 88);
+        drop(pool); // joins nothing, must not hang
+    }
+
+    #[test]
+    fn healthy_pool_reports_zero_failed_workers() {
+        let pool = Pool::new(2);
+        assert_eq!(pool.failed_workers(), 0);
     }
 
     #[test]

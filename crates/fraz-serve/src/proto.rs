@@ -1,0 +1,860 @@
+//! The wire protocol: length-prefixed frames with typed request/response
+//! bodies.
+//!
+//! A frame is `u32` little-endian payload length followed by exactly that
+//! many payload bytes; the payload's first byte is an opcode.  The length
+//! prefix is validated against [`MAX_FRAME_LEN`] (or the caller's cap)
+//! *before* any allocation, so a hostile 4-gigabyte prefix costs the
+//! server a typed error, not an OOM.  Body decoding is pure slicing over
+//! the already-read frame — a malformed body can never allocate more than
+//! the frame it arrived in.
+//!
+//! Every decode failure is a typed [`ProtoError`]:
+//!
+//! * [`ProtoError::Closed`] — clean EOF on a frame boundary (the peer
+//!   hung up politely),
+//! * [`ProtoError::Truncated`] — EOF mid-frame (a torn or interrupted
+//!   peer),
+//! * [`ProtoError::TooLarge`] — the length prefix exceeds the cap,
+//! * [`ProtoError::Malformed`] — the payload does not parse,
+//! * [`ProtoError::Io`] — the transport itself failed.
+
+use std::io::{Read, Write};
+
+use fraz_data::{DType, DataBuffer, Dataset, Dims};
+
+/// Default ceiling on one frame's payload (64 MiB — comfortably above any
+/// field the test scenarios ship, far below an allocation-of-death).
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Ceiling on any single string field (names, keys, error messages).
+const MAX_STR_LEN: usize = 4096;
+
+/// Ceiling on dataset rank accepted off the wire.
+const MAX_NDIMS: usize = 8;
+
+/// Typed protocol failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The peer closed the connection on a frame boundary.
+    Closed,
+    /// The connection ended mid-frame.
+    Truncated,
+    /// A length prefix exceeded the frame cap.
+    TooLarge { len: u64, max: usize },
+    /// The payload failed to parse.
+    Malformed(String),
+    /// The underlying transport failed.
+    Io(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Closed => write!(f, "connection closed"),
+            ProtoError::Truncated => write!(f, "connection closed mid-frame"),
+            ProtoError::TooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte cap")
+            }
+            ProtoError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+            ProtoError::Io(msg) => write!(f, "transport error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn malformed(msg: impl Into<String>) -> ProtoError {
+    ProtoError::Malformed(msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Read one length-prefixed frame.  EOF before the first header byte is
+/// [`ProtoError::Closed`]; EOF anywhere later is [`ProtoError::Truncated`].
+pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Vec<u8>, ProtoError> {
+    let mut header = [0u8; 4];
+    read_full(r, &mut header, true)?;
+    let len = u32::from_le_bytes(header) as usize;
+    if len > max_len {
+        return Err(ProtoError::TooLarge {
+            len: len as u64,
+            max: max_len,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    read_full(r, &mut payload, false)?;
+    Ok(payload)
+}
+
+/// Fill `buf` completely.  `at_boundary` selects the error for EOF on the
+/// very first byte (a clean close) versus EOF later (a truncation).
+fn read_full(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(), ProtoError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if at_boundary && filled == 0 {
+                    ProtoError::Closed
+                } else {
+                    ProtoError::Truncated
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ProtoError::Io(e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtoError> {
+    let len: u32 = payload.len().try_into().map_err(|_| ProtoError::TooLarge {
+        len: payload.len() as u64,
+        max: u32::MAX as usize,
+    })?;
+    let io = |e: std::io::Error| ProtoError::Io(e.to_string());
+    w.write_all(&len.to_le_bytes()).map_err(io)?;
+    w.write_all(payload).map_err(io)?;
+    w.flush().map_err(io)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+/// A bounds-checked reader over one received payload.  Every accessor
+/// slices the existing buffer — no reads, no allocation beyond the copies
+/// the caller explicitly asks for.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| malformed(format!("body ends {n} byte(s) short")))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str_(&mut self, what: &str) -> Result<String, ProtoError> {
+        let len = self.u32()? as usize;
+        if len > MAX_STR_LEN {
+            return Err(malformed(format!(
+                "{what} length {len} exceeds the {MAX_STR_LEN}-byte cap"
+            )));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| malformed(format!("{what} is not UTF-8")))
+    }
+
+    fn bytes(&mut self, what: &str) -> Result<Vec<u8>, ProtoError> {
+        let len = self.u32()? as usize;
+        // The declared length can never exceed the frame that carried it,
+        // so this bound — not a separate cap — limits the allocation.
+        let bytes = self
+            .take(len)
+            .map_err(|_| malformed(format!("{what} length {len} overruns the frame")))?;
+        Ok(bytes.to_vec())
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(malformed(format!(
+                "{} trailing byte(s) after the body",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dataset wire form
+// ---------------------------------------------------------------------------
+
+fn put_dataset(out: &mut Vec<u8>, dataset: &Dataset) {
+    out.push(match dataset.dtype() {
+        DType::F32 => 0,
+        DType::F64 => 1,
+    });
+    put_u64(out, dataset.timestep as u64);
+    put_str(out, &dataset.application);
+    put_str(out, &dataset.field);
+    out.push(dataset.dims.ndims() as u8);
+    for &axis in dataset.dims.as_slice() {
+        put_u64(out, axis as u64);
+    }
+    put_bytes(out, &dataset.buffer.to_le_bytes());
+}
+
+fn read_dataset(c: &mut Cursor<'_>) -> Result<Dataset, ProtoError> {
+    let dtype = match c.u8()? {
+        0 => DType::F32,
+        1 => DType::F64,
+        other => return Err(malformed(format!("unknown dtype tag {other}"))),
+    };
+    let timestep = c.u64()? as usize;
+    let application = c.str_("application name")?;
+    let field = c.str_("field name")?;
+    let ndims = c.u8()? as usize;
+    if ndims == 0 || ndims > MAX_NDIMS {
+        return Err(malformed(format!(
+            "rank {ndims} outside the accepted 1..={MAX_NDIMS}"
+        )));
+    }
+    let mut axes = Vec::with_capacity(ndims);
+    let mut elems: usize = 1;
+    for _ in 0..ndims {
+        let axis = c.u64()?;
+        let axis: usize = axis
+            .try_into()
+            .map_err(|_| malformed(format!("axis length {axis} does not fit")))?;
+        if axis == 0 {
+            return Err(malformed("zero-length axis"));
+        }
+        elems = elems
+            .checked_mul(axis)
+            .ok_or_else(|| malformed("grid size overflows"))?;
+        axes.push(axis);
+    }
+    let values = c.bytes("value buffer")?;
+    let expected = elems
+        .checked_mul(dtype.byte_width())
+        .ok_or_else(|| malformed("grid byte size overflows"))?;
+    if values.len() != expected {
+        return Err(malformed(format!(
+            "value buffer holds {} byte(s), the {}-element grid needs {expected}",
+            values.len(),
+            elems
+        )));
+    }
+    let buffer = DataBuffer::from_le_bytes(&values, dtype)
+        .ok_or_else(|| malformed("value buffer does not decode"))?;
+    Ok(Dataset {
+        application,
+        field,
+        timestep,
+        dims: Dims::new(&axes),
+        buffer,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// One client request.  Search jobs carry `deadline_ms` (`0` = no
+/// deadline): the server converts it into a cooperative
+/// [`CancelToken`](fraz_core::CancelToken) checked between compressor
+/// evaluations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Server health and counters.
+    Status,
+    /// Fixed-ratio search + compression of the payload dataset.
+    Compress {
+        deadline_ms: u32,
+        target_ratio: f64,
+        tolerance: f64,
+        codec: String,
+        dataset: Dataset,
+    },
+    /// Decompress a blob previously produced by `codec`.
+    Decompress { codec: String, blob: Vec<u8> },
+    /// Fixed-quality (PSNR floor) search over the payload dataset.
+    TunePsnr {
+        deadline_ms: u32,
+        target_psnr: f64,
+        codec: String,
+        dataset: Dataset,
+    },
+    /// Durably store a blob under `key`.
+    PutStore { key: String, blob: Vec<u8> },
+    /// Fetch the blob stored under `key`.
+    GetStore { key: String },
+}
+
+const OP_STATUS: u8 = 0x01;
+const OP_COMPRESS: u8 = 0x02;
+const OP_DECOMPRESS: u8 = 0x03;
+const OP_TUNE_PSNR: u8 = 0x04;
+const OP_PUT_STORE: u8 = 0x05;
+const OP_GET_STORE: u8 = 0x06;
+
+impl Request {
+    /// Serialize to a frame payload (opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Status => out.push(OP_STATUS),
+            Request::Compress {
+                deadline_ms,
+                target_ratio,
+                tolerance,
+                codec,
+                dataset,
+            } => {
+                out.push(OP_COMPRESS);
+                put_u32(&mut out, *deadline_ms);
+                put_f64(&mut out, *target_ratio);
+                put_f64(&mut out, *tolerance);
+                put_str(&mut out, codec);
+                put_dataset(&mut out, dataset);
+            }
+            Request::Decompress { codec, blob } => {
+                out.push(OP_DECOMPRESS);
+                put_str(&mut out, codec);
+                put_bytes(&mut out, blob);
+            }
+            Request::TunePsnr {
+                deadline_ms,
+                target_psnr,
+                codec,
+                dataset,
+            } => {
+                out.push(OP_TUNE_PSNR);
+                put_u32(&mut out, *deadline_ms);
+                put_f64(&mut out, *target_psnr);
+                put_str(&mut out, codec);
+                put_dataset(&mut out, dataset);
+            }
+            Request::PutStore { key, blob } => {
+                out.push(OP_PUT_STORE);
+                put_str(&mut out, key);
+                put_bytes(&mut out, blob);
+            }
+            Request::GetStore { key } => {
+                out.push(OP_GET_STORE);
+                put_str(&mut out, key);
+            }
+        }
+        out
+    }
+
+    /// Parse a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtoError> {
+        let mut c = Cursor::new(payload);
+        let request = match c.u8()? {
+            OP_STATUS => Request::Status,
+            OP_COMPRESS => Request::Compress {
+                deadline_ms: c.u32()?,
+                target_ratio: c.f64()?,
+                tolerance: c.f64()?,
+                codec: c.str_("codec name")?,
+                dataset: read_dataset(&mut c)?,
+            },
+            OP_DECOMPRESS => Request::Decompress {
+                codec: c.str_("codec name")?,
+                blob: c.bytes("compressed blob")?,
+            },
+            OP_TUNE_PSNR => Request::TunePsnr {
+                deadline_ms: c.u32()?,
+                target_psnr: c.f64()?,
+                codec: c.str_("codec name")?,
+                dataset: read_dataset(&mut c)?,
+            },
+            OP_PUT_STORE => Request::PutStore {
+                key: c.str_("store key")?,
+                blob: c.bytes("store blob")?,
+            },
+            OP_GET_STORE => Request::GetStore {
+                key: c.str_("store key")?,
+            },
+            other => return Err(malformed(format!("unknown request opcode {other:#04x}"))),
+        };
+        c.finish()?;
+        Ok(request)
+    }
+
+    /// Short label for logs and counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Status => "status",
+            Request::Compress { .. } => "compress",
+            Request::Decompress { .. } => "decompress",
+            Request::TunePsnr { .. } => "tune-psnr",
+            Request::PutStore { .. } => "put-store",
+            Request::GetStore { .. } => "get-store",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Server counters carried by [`Response::Status`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatusBody {
+    /// The server has stopped admitting and is draining in-flight jobs.
+    pub draining: bool,
+    /// Some dependency (store, tune cache) has failed over to a fallback.
+    pub degraded: bool,
+    /// Jobs currently executing.
+    pub inflight_jobs: u32,
+    /// Payload bytes belonging to in-flight jobs.
+    pub inflight_bytes: u64,
+    /// Jobs answered successfully.
+    pub jobs_ok: u64,
+    /// Jobs shed by admission control.
+    pub jobs_shed: u64,
+    /// Jobs stopped at their deadline.
+    pub jobs_deadline: u64,
+    /// Malformed or unserviceable requests.
+    pub jobs_rejected: u64,
+    /// Jobs failed on I/O or internal errors.
+    pub jobs_failed: u64,
+}
+
+/// One server reply.  Exactly one reply answers every request frame —
+/// success and failure are both typed, never a dropped connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Health and counters.
+    Status(StatusBody),
+    /// A completed fixed-ratio job: the chosen bound and the blob
+    /// compressed at it.
+    Compressed {
+        error_bound: f64,
+        ratio: f64,
+        feasible: bool,
+        evaluations: u32,
+        blob: Vec<u8>,
+    },
+    /// A decompressed dataset.
+    Dataset(Dataset),
+    /// A completed fixed-quality job.
+    Tuned {
+        error_bound: f64,
+        achieved_psnr: f64,
+        satisfiable: bool,
+        evaluations: u32,
+    },
+    /// The blob was stored.  `degraded` marks a write that fell back to
+    /// the in-memory store after the durable backend failed.
+    Stored { degraded: bool },
+    /// The blob stored under the requested key.
+    Blob(Vec<u8>),
+    /// Admission control shed the job; retry after the hinted delay.
+    Overloaded { retry_after_ms: u32 },
+    /// The deadline fired mid-search; the best bound found so far.
+    DeadlineExceeded {
+        error_bound: f64,
+        achieved: f64,
+        evaluations: u32,
+    },
+    /// The request was well-framed but unserviceable.
+    BadRequest { message: String },
+    /// Storage failed even after retries.
+    IoFailed { transient: bool, message: String },
+    /// The server is draining and takes no new work.
+    Draining,
+    /// The job panicked; the server survived it.
+    Internal { message: String },
+}
+
+const OP_R_STATUS: u8 = 0x80;
+const OP_R_COMPRESSED: u8 = 0x81;
+const OP_R_DATASET: u8 = 0x82;
+const OP_R_TUNED: u8 = 0x83;
+const OP_R_STORED: u8 = 0x84;
+const OP_R_BLOB: u8 = 0x85;
+const OP_R_OVERLOADED: u8 = 0xE0;
+const OP_R_DEADLINE: u8 = 0xE1;
+const OP_R_BAD_REQUEST: u8 = 0xE2;
+const OP_R_IO_FAILED: u8 = 0xE3;
+const OP_R_DRAINING: u8 = 0xE4;
+const OP_R_INTERNAL: u8 = 0xE5;
+
+impl Response {
+    /// Serialize to a frame payload (opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Status(s) => {
+                out.push(OP_R_STATUS);
+                out.push(s.draining as u8);
+                out.push(s.degraded as u8);
+                put_u32(&mut out, s.inflight_jobs);
+                put_u64(&mut out, s.inflight_bytes);
+                put_u64(&mut out, s.jobs_ok);
+                put_u64(&mut out, s.jobs_shed);
+                put_u64(&mut out, s.jobs_deadline);
+                put_u64(&mut out, s.jobs_rejected);
+                put_u64(&mut out, s.jobs_failed);
+            }
+            Response::Compressed {
+                error_bound,
+                ratio,
+                feasible,
+                evaluations,
+                blob,
+            } => {
+                out.push(OP_R_COMPRESSED);
+                put_f64(&mut out, *error_bound);
+                put_f64(&mut out, *ratio);
+                out.push(*feasible as u8);
+                put_u32(&mut out, *evaluations);
+                put_bytes(&mut out, blob);
+            }
+            Response::Dataset(dataset) => {
+                out.push(OP_R_DATASET);
+                put_dataset(&mut out, dataset);
+            }
+            Response::Tuned {
+                error_bound,
+                achieved_psnr,
+                satisfiable,
+                evaluations,
+            } => {
+                out.push(OP_R_TUNED);
+                put_f64(&mut out, *error_bound);
+                put_f64(&mut out, *achieved_psnr);
+                out.push(*satisfiable as u8);
+                put_u32(&mut out, *evaluations);
+            }
+            Response::Stored { degraded } => {
+                out.push(OP_R_STORED);
+                out.push(*degraded as u8);
+            }
+            Response::Blob(blob) => {
+                out.push(OP_R_BLOB);
+                put_bytes(&mut out, blob);
+            }
+            Response::Overloaded { retry_after_ms } => {
+                out.push(OP_R_OVERLOADED);
+                put_u32(&mut out, *retry_after_ms);
+            }
+            Response::DeadlineExceeded {
+                error_bound,
+                achieved,
+                evaluations,
+            } => {
+                out.push(OP_R_DEADLINE);
+                put_f64(&mut out, *error_bound);
+                put_f64(&mut out, *achieved);
+                put_u32(&mut out, *evaluations);
+            }
+            Response::BadRequest { message } => {
+                out.push(OP_R_BAD_REQUEST);
+                put_str(&mut out, message);
+            }
+            Response::IoFailed { transient, message } => {
+                out.push(OP_R_IO_FAILED);
+                out.push(*transient as u8);
+                put_str(&mut out, message);
+            }
+            Response::Draining => out.push(OP_R_DRAINING),
+            Response::Internal { message } => {
+                out.push(OP_R_INTERNAL);
+                put_str(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Parse a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtoError> {
+        let mut c = Cursor::new(payload);
+        let response = match c.u8()? {
+            OP_R_STATUS => Response::Status(StatusBody {
+                draining: c.u8()? != 0,
+                degraded: c.u8()? != 0,
+                inflight_jobs: c.u32()?,
+                inflight_bytes: c.u64()?,
+                jobs_ok: c.u64()?,
+                jobs_shed: c.u64()?,
+                jobs_deadline: c.u64()?,
+                jobs_rejected: c.u64()?,
+                jobs_failed: c.u64()?,
+            }),
+            OP_R_COMPRESSED => Response::Compressed {
+                error_bound: c.f64()?,
+                ratio: c.f64()?,
+                feasible: c.u8()? != 0,
+                evaluations: c.u32()?,
+                blob: c.bytes("compressed blob")?,
+            },
+            OP_R_DATASET => Response::Dataset(read_dataset(&mut c)?),
+            OP_R_TUNED => Response::Tuned {
+                error_bound: c.f64()?,
+                achieved_psnr: c.f64()?,
+                satisfiable: c.u8()? != 0,
+                evaluations: c.u32()?,
+            },
+            OP_R_STORED => Response::Stored {
+                degraded: c.u8()? != 0,
+            },
+            OP_R_BLOB => Response::Blob(c.bytes("stored blob")?),
+            OP_R_OVERLOADED => Response::Overloaded {
+                retry_after_ms: c.u32()?,
+            },
+            OP_R_DEADLINE => Response::DeadlineExceeded {
+                error_bound: c.f64()?,
+                achieved: c.f64()?,
+                evaluations: c.u32()?,
+            },
+            OP_R_BAD_REQUEST => Response::BadRequest {
+                message: c.str_("error message")?,
+            },
+            OP_R_IO_FAILED => Response::IoFailed {
+                transient: c.u8()? != 0,
+                message: c.str_("error message")?,
+            },
+            OP_R_DRAINING => Response::Draining,
+            OP_R_INTERNAL => Response::Internal {
+                message: c.str_("error message")?,
+            },
+            other => return Err(malformed(format!("unknown response opcode {other:#04x}"))),
+        };
+        c.finish()?;
+        Ok(response)
+    }
+
+    /// Short label for counters and loadgen tallies.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Response::Status(_) => "status",
+            Response::Compressed { .. } => "compressed",
+            Response::Dataset(_) => "dataset",
+            Response::Tuned { .. } => "tuned",
+            Response::Stored { .. } => "stored",
+            Response::Blob(_) => "blob",
+            Response::Overloaded { .. } => "overloaded",
+            Response::DeadlineExceeded { .. } => "deadline-exceeded",
+            Response::BadRequest { .. } => "bad-request",
+            Response::IoFailed { .. } => "io-failed",
+            Response::Draining => "draining",
+            Response::Internal { .. } => "internal",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dataset() -> Dataset {
+        let values: Vec<f32> = (0..24).map(|i| i as f32 * 0.5).collect();
+        Dataset::from_f32("app", "field", 3, Dims::d3(2, 3, 4), values)
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = vec![
+            Request::Status,
+            Request::Compress {
+                deadline_ms: 250,
+                target_ratio: 8.0,
+                tolerance: 0.2,
+                codec: "sz".into(),
+                dataset: sample_dataset(),
+            },
+            Request::Decompress {
+                codec: "szx".into(),
+                blob: vec![1, 2, 3],
+            },
+            Request::TunePsnr {
+                deadline_ms: 0,
+                target_psnr: 60.0,
+                codec: "sz".into(),
+                dataset: sample_dataset(),
+            },
+            Request::PutStore {
+                key: "a/b".into(),
+                blob: vec![9; 100],
+            },
+            Request::GetStore { key: "a/b".into() },
+        ];
+        for request in requests {
+            let decoded = Request::decode(&request.encode()).unwrap();
+            assert_eq!(decoded, request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = vec![
+            Response::Status(StatusBody {
+                draining: true,
+                degraded: false,
+                inflight_jobs: 3,
+                inflight_bytes: 1 << 20,
+                jobs_ok: 10,
+                jobs_shed: 2,
+                jobs_deadline: 1,
+                jobs_rejected: 4,
+                jobs_failed: 0,
+            }),
+            Response::Compressed {
+                error_bound: 1e-3,
+                ratio: 7.5,
+                feasible: true,
+                evaluations: 12,
+                blob: vec![5; 64],
+            },
+            Response::Dataset(sample_dataset()),
+            Response::Tuned {
+                error_bound: 2e-4,
+                achieved_psnr: 61.2,
+                satisfiable: true,
+                evaluations: 9,
+            },
+            Response::Stored { degraded: true },
+            Response::Blob(vec![7; 16]),
+            Response::Overloaded { retry_after_ms: 40 },
+            Response::DeadlineExceeded {
+                error_bound: 5e-3,
+                achieved: 6.1,
+                evaluations: 4,
+            },
+            Response::BadRequest {
+                message: "nope".into(),
+            },
+            Response::IoFailed {
+                transient: true,
+                message: "disk".into(),
+            },
+            Response::Draining,
+            Response::Internal {
+                message: "panic".into(),
+            },
+        ];
+        for response in responses {
+            let decoded = Response::decode(&response.encode()).unwrap();
+            assert_eq!(decoded, response);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_buffer() {
+        let payload = Request::Status.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut reader = wire.as_slice();
+        assert_eq!(read_frame(&mut reader, MAX_FRAME_LEN).unwrap(), payload);
+        assert_eq!(
+            read_frame(&mut reader, MAX_FRAME_LEN),
+            Err(ProtoError::Closed)
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let wire = u32::MAX.to_le_bytes();
+        let err = read_frame(&mut wire.as_slice(), MAX_FRAME_LEN).unwrap_err();
+        assert!(matches!(err, ProtoError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn truncation_mid_frame_is_typed() {
+        let payload = Request::GetStore { key: "k".into() }.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        for cut in 1..wire.len() {
+            let err = read_frame(&mut &wire[..cut], MAX_FRAME_LEN).unwrap_err();
+            assert_eq!(err, ProtoError::Truncated, "cut at byte {cut}");
+        }
+    }
+
+    #[test]
+    fn every_single_byte_truncation_of_a_body_is_malformed_not_panic() {
+        let payload = Request::Compress {
+            deadline_ms: 100,
+            target_ratio: 8.0,
+            tolerance: 0.2,
+            codec: "sz".into(),
+            dataset: sample_dataset(),
+        }
+        .encode();
+        for cut in 0..payload.len() {
+            assert!(
+                Request::decode(&payload[..cut]).is_err(),
+                "truncation at byte {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_dims_do_not_allocate() {
+        // A dataset body claiming a 2^60-element grid must die on the
+        // value-count check, not attempt the allocation.
+        let mut out = Vec::new();
+        out.push(OP_COMPRESS);
+        put_u32(&mut out, 0);
+        put_f64(&mut out, 8.0);
+        put_f64(&mut out, 0.2);
+        put_str(&mut out, "sz");
+        out.push(0); // dtype f32
+        put_u64(&mut out, 0); // timestep
+        put_str(&mut out, "app");
+        put_str(&mut out, "field");
+        out.push(3);
+        put_u64(&mut out, 1 << 20);
+        put_u64(&mut out, 1 << 20);
+        put_u64(&mut out, 1 << 20);
+        put_bytes(&mut out, &[0u8; 4]);
+        let err = Request::decode(&out).unwrap_err();
+        assert!(matches!(err, ProtoError::Malformed(_)), "{err:?}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut payload = Request::Status.encode();
+        payload.push(0xAB);
+        assert!(Request::decode(&payload).is_err());
+    }
+}

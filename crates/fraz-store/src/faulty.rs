@@ -1,0 +1,328 @@
+//! Fault injection for the store layer — chaos as a first-class subsystem.
+//!
+//! [`FaultyStore`] wraps any [`Store`] and injects failures drawn from a
+//! seeded [`ChaCha8Rng`], so a chaos run is *reproducible*: the same seed
+//! produces the same schedule of errors, latencies and torn writes.  The
+//! injectable faults mirror what real storage does under duress:
+//!
+//! * **transient errors** — the op fails with [`StoreError::Transient`]
+//!   (the retry layer's food),
+//! * **permanent errors** — the op fails with [`StoreError::Io`],
+//! * **latency** — the op sleeps a uniform random delay before running,
+//! * **torn writes** — a `put` writes only a prefix of the object to the
+//!   inner store and then reports failure, exactly the state a crash
+//!   between write and rename would leave on a non-atomic backend.
+//!
+//! The chaos suites assert that *no* combination of these ever panics a
+//! consumer, hangs it, or lets a torn object decode as valid data.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Store, StoreError};
+
+/// What to inject, and how often.  All probabilities are per-operation and
+/// independent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability an operation fails with [`StoreError::Transient`].
+    pub transient_rate: f64,
+    /// Probability an operation fails with [`StoreError::Io`] (permanent).
+    pub permanent_rate: f64,
+    /// Probability a `put` tears: a random proper prefix reaches the inner
+    /// store and the call reports a transient failure.
+    pub torn_write_rate: f64,
+    /// When set, every operation first sleeps a uniform delay in this
+    /// range.
+    pub latency: Option<(Duration, Duration)>,
+    /// Seed of the fault schedule.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            transient_rate: 0.0,
+            permanent_rate: 0.0,
+            torn_write_rate: 0.0,
+            latency: None,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A schedule injecting transient errors at `rate` with `seed`.
+    pub fn transient(rate: f64, seed: u64) -> Self {
+        Self {
+            transient_rate: rate,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Counters of what was actually injected (for asserting a chaos run
+/// really exercised the error paths).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Operations failed with a transient error.
+    pub transient_errors: u64,
+    /// Operations failed with a permanent error.
+    pub permanent_errors: u64,
+    /// `put`s that tore.
+    pub torn_writes: u64,
+    /// Operations delayed by injected latency.
+    pub delays: u64,
+    /// Operations that ran clean.
+    pub passed: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    transient_errors: AtomicU64,
+    permanent_errors: AtomicU64,
+    torn_writes: AtomicU64,
+    delays: AtomicU64,
+    passed: AtomicU64,
+}
+
+/// A [`Store`] decorator that injects seed-deterministic faults.
+pub struct FaultyStore<S> {
+    inner: S,
+    config: FaultConfig,
+    rng: Mutex<ChaCha8Rng>,
+    counters: Counters,
+}
+
+enum Verdict {
+    Pass,
+    Transient,
+    Permanent,
+    /// Fraction of the value to let through before failing the `put`.
+    Torn(f64),
+}
+
+impl<S: Store> FaultyStore<S> {
+    /// Wrap `inner` with the given fault schedule.
+    pub fn new(inner: S, config: FaultConfig) -> Self {
+        let rng = Mutex::new(ChaCha8Rng::seed_from_u64(config.seed));
+        Self {
+            inner,
+            config,
+            rng,
+            counters: Counters::default(),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// What was injected so far.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            transient_errors: self.counters.transient_errors.load(Ordering::Relaxed),
+            permanent_errors: self.counters.permanent_errors.load(Ordering::Relaxed),
+            torn_writes: self.counters.torn_writes.load(Ordering::Relaxed),
+            delays: self.counters.delays.load(Ordering::Relaxed),
+            passed: self.counters.passed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Draw this operation's fate (and latency) from the schedule.  The
+    /// sleep happens outside the rng lock so concurrent callers do not
+    /// serialize on injected latency.
+    fn roll(&self, is_put: bool) -> Verdict {
+        let (delay, verdict) = {
+            let mut rng = self.rng.lock().unwrap_or_else(|p| p.into_inner());
+            let delay = self.config.latency.map(|(lo, hi)| {
+                if hi > lo {
+                    let span = (hi - lo).as_secs_f64();
+                    lo + Duration::from_secs_f64(rng.gen_range(0.0..span))
+                } else {
+                    lo
+                }
+            });
+            let verdict = if is_put
+                && self.config.torn_write_rate > 0.0
+                && rng.gen_bool(self.config.torn_write_rate)
+            {
+                Verdict::Torn(rng.gen_range(0.0..1.0))
+            } else if self.config.transient_rate > 0.0 && rng.gen_bool(self.config.transient_rate) {
+                Verdict::Transient
+            } else if self.config.permanent_rate > 0.0 && rng.gen_bool(self.config.permanent_rate) {
+                Verdict::Permanent
+            } else {
+                Verdict::Pass
+            };
+            (delay, verdict)
+        };
+        if let Some(delay) = delay {
+            self.counters.delays.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(delay);
+        }
+        verdict
+    }
+
+    fn gate(&self, op: &str) -> Result<(), StoreError> {
+        match self.roll(false) {
+            Verdict::Pass => {
+                self.counters.passed.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Verdict::Transient => {
+                self.counters
+                    .transient_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(StoreError::Transient(format!("injected fault: {op}")))
+            }
+            Verdict::Permanent | Verdict::Torn(_) => {
+                self.counters
+                    .permanent_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(StoreError::Io(format!("injected fault: {op}")))
+            }
+        }
+    }
+}
+
+impl<S: Store> Store for FaultyStore<S> {
+    fn get(&self, key: &str) -> Result<Vec<u8>, StoreError> {
+        self.gate("get")?;
+        self.inner.get(key)
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+        self.gate("get_range")?;
+        self.inner.get_range(key, offset, len)
+    }
+
+    fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        match self.roll(true) {
+            Verdict::Pass => {
+                self.counters.passed.fetch_add(1, Ordering::Relaxed);
+                self.inner.put(key, value)
+            }
+            Verdict::Transient => {
+                self.counters
+                    .transient_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(StoreError::Transient("injected fault: put".into()))
+            }
+            Verdict::Permanent => {
+                self.counters
+                    .permanent_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(StoreError::Io("injected fault: put".into()))
+            }
+            Verdict::Torn(fraction) => {
+                self.counters.torn_writes.fetch_add(1, Ordering::Relaxed);
+                // A proper prefix — never the whole object — reaches the
+                // backend, then the call fails as a transient error so
+                // retry layers will overwrite the damage.
+                let cut =
+                    ((value.len() as f64 * fraction) as usize).min(value.len().saturating_sub(1));
+                let _ = self.inner.put(key, &value[..cut]);
+                Err(StoreError::Transient("injected fault: torn put".into()))
+            }
+        }
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        self.gate("list")?;
+        self.inner.list()
+    }
+
+    fn size(&self, key: &str) -> Result<u64, StoreError> {
+        self.gate("size")?;
+        self.inner.size(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retry::{RetryPolicy, RetryStore};
+    use crate::MemoryStore;
+
+    #[test]
+    fn zero_rates_are_a_transparent_wrapper() {
+        let store = FaultyStore::new(MemoryStore::new(), FaultConfig::default());
+        store.put("k", b"value").unwrap();
+        assert_eq!(store.get("k").unwrap(), b"value");
+        let stats = store.stats();
+        assert_eq!(stats.transient_errors + stats.permanent_errors, 0);
+        assert!(stats.passed >= 2);
+    }
+
+    #[test]
+    fn fault_schedule_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let store = FaultyStore::new(MemoryStore::new(), FaultConfig::transient(0.3, seed));
+            (0..50)
+                .map(|i| store.put(&format!("k{i}"), b"x").is_err())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42), "same seed, same schedule");
+        assert_ne!(run(42), run(43), "different seed, different schedule");
+    }
+
+    #[test]
+    fn injected_transients_are_healed_by_the_retry_layer() {
+        let faulty = FaultyStore::new(MemoryStore::new(), FaultConfig::transient(0.4, 9));
+        let store = RetryStore::with_policy(
+            faulty,
+            RetryPolicy {
+                max_attempts: 16,
+                base_delay: Duration::from_micros(10),
+                max_delay: Duration::from_micros(100),
+                seed: 1,
+            },
+        );
+        for i in 0..30 {
+            let key = format!("k{i}");
+            store.put(&key, b"payload").unwrap();
+            assert_eq!(store.get(&key).unwrap(), b"payload");
+        }
+        let stats = store.inner().stats();
+        assert!(stats.transient_errors > 0, "chaos must actually inject");
+        assert!(store.retries() >= stats.transient_errors);
+    }
+
+    #[test]
+    fn torn_puts_leave_a_proper_prefix_and_report_transient() {
+        let config = FaultConfig {
+            torn_write_rate: 1.0,
+            seed: 5,
+            ..FaultConfig::default()
+        };
+        let store = FaultyStore::new(MemoryStore::new(), config);
+        let value = vec![7u8; 1024];
+        let err = store.put("k", &value).unwrap_err();
+        assert!(err.is_transient());
+        let torn = store.inner().get("k").unwrap();
+        assert!(torn.len() < value.len(), "the whole object must not land");
+        assert_eq!(store.stats().torn_writes, 1);
+    }
+
+    #[test]
+    fn latency_injection_delays_but_does_not_fail() {
+        let config = FaultConfig {
+            latency: Some((Duration::from_millis(1), Duration::from_millis(3))),
+            seed: 3,
+            ..FaultConfig::default()
+        };
+        let store = FaultyStore::new(MemoryStore::new(), config);
+        let start = std::time::Instant::now();
+        store.put("k", b"v").unwrap();
+        store.get("k").unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(2));
+        assert_eq!(store.stats().delays, 2);
+    }
+}

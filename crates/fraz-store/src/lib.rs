@@ -44,18 +44,22 @@
 //! # }
 //! ```
 
+pub mod faulty;
 pub mod format;
 pub mod grid;
 pub mod reader;
 pub mod region;
+pub mod retry;
 pub mod store;
 pub mod writer;
 
 use std::fmt;
 
+pub use faulty::{FaultConfig, FaultStats, FaultyStore};
 pub use format::{ArrayMeta, ChunkEntry};
 pub use grid::ChunkGrid;
 pub use reader::ArrayReader;
+pub use retry::{RetryPolicy, RetryStore};
 pub use store::{CountingStore, FsStore, MemoryStore, Store};
 pub use writer::{
     write_array, write_array_on, write_array_seeded, ChunkReport, ChunkTarget, StoreWriteConfig,
@@ -70,7 +74,11 @@ pub use writer::{
 /// read (the same posture as `fraz-szx`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
-    /// Underlying storage I/O failed.
+    /// Underlying storage I/O failed in a way that is worth retrying
+    /// (interrupted syscall, timeout, resource temporarily busy).  The
+    /// [`RetryStore`] decorator keys its backoff off this variant.
+    Transient(String),
+    /// Underlying storage I/O failed permanently (retrying is pointless).
     Io(String),
     /// The requested key does not exist in the store.
     NotFound(String),
@@ -88,6 +96,7 @@ pub enum StoreError {
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            StoreError::Transient(msg) => write!(f, "transient storage error: {msg}"),
             StoreError::Io(msg) => write!(f, "storage I/O error: {msg}"),
             StoreError::NotFound(key) => write!(f, "key not found: {key}"),
             StoreError::Corrupt(msg) => write!(f, "corrupt container: {msg}"),
@@ -103,5 +112,27 @@ impl std::error::Error for StoreError {}
 impl StoreError {
     pub(crate) fn corrupt(msg: impl Into<String>) -> Self {
         StoreError::Corrupt(msg.into())
+    }
+
+    /// True when retrying the operation may succeed (the retry layer's
+    /// classification key).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StoreError::Transient(_))
+    }
+
+    /// Classify an [`std::io::Error`] under `context` into
+    /// [`Transient`](StoreError::Transient) or [`Io`](StoreError::Io) by
+    /// its kind: interruptions, timeouts and would-blocks are worth a
+    /// retry; everything else (permissions, missing directories, full
+    /// disks) is permanent.
+    pub fn from_io(context: &str, error: &std::io::Error) -> Self {
+        use std::io::ErrorKind;
+        let msg = format!("{context}: {error}");
+        match error.kind() {
+            ErrorKind::Interrupted | ErrorKind::TimedOut | ErrorKind::WouldBlock => {
+                StoreError::Transient(msg)
+            }
+            _ => StoreError::Io(msg),
+        }
     }
 }

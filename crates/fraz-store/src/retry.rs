@@ -1,0 +1,266 @@
+//! Retry with jittered exponential backoff for transient store failures.
+//!
+//! Networked and shared-filesystem backends fail *transiently* — an
+//! interrupted syscall, a momentary timeout — and the right response is a
+//! short, randomized wait and another attempt, not a failed job.
+//! [`RetryStore`] decorates any [`Store`] with exactly that policy, keyed
+//! off [`StoreError::is_transient`]: permanent errors (missing keys,
+//! corrupt containers, permission failures) pass through untouched on the
+//! first attempt, transient ones are retried up to
+//! [`RetryPolicy::max_attempts`] times and only then surfaced — still as
+//! the typed transient error, so callers can distinguish "gave up
+//! retrying" from "never worth retrying".
+//!
+//! The jitter source is a seeded [`ChaCha8Rng`], so a test (or a chaos
+//! run) with a fixed seed sees a reproducible retry schedule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Store, StoreError};
+
+/// When and how often to retry a transient failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (first try included).  `1` disables
+    /// retrying.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_delay: Duration,
+    /// Seed for the jitter source (deterministic schedules in tests).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(250),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered sleep before retry number `retry` (0-based): the
+    /// exponential delay scaled by a uniform factor in `[0.5, 1.0)`, so
+    /// concurrent clients that failed together do not retry in lockstep.
+    fn backoff(&self, retry: u32, rng: &mut ChaCha8Rng) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << retry.min(16))
+            .min(self.max_delay);
+        exp.mul_f64(rng.gen_range(0.5..1.0))
+    }
+}
+
+/// A [`Store`] decorator that retries transient failures with jittered
+/// exponential backoff.
+pub struct RetryStore<S> {
+    inner: S,
+    policy: RetryPolicy,
+    rng: Mutex<ChaCha8Rng>,
+    retries: AtomicU64,
+    gave_up: AtomicU64,
+}
+
+impl<S: Store> RetryStore<S> {
+    /// Wrap `inner` with the default policy.
+    pub fn new(inner: S) -> Self {
+        Self::with_policy(inner, RetryPolicy::default())
+    }
+
+    /// Wrap `inner` with an explicit policy.
+    pub fn with_policy(inner: S, policy: RetryPolicy) -> Self {
+        let rng = Mutex::new(ChaCha8Rng::seed_from_u64(policy.seed));
+        Self {
+            inner,
+            policy,
+            rng,
+            retries: AtomicU64::new(0),
+            gave_up: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Total retry attempts performed (not counting first tries).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Operations that exhausted every attempt and surfaced the transient
+    /// error to the caller.
+    pub fn gave_up(&self) -> u64 {
+        self.gave_up.load(Ordering::Relaxed)
+    }
+
+    fn run<T>(&self, mut op: impl FnMut(&S) -> Result<T, StoreError>) -> Result<T, StoreError> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last = None;
+        for retry in 0..attempts {
+            if retry > 0 {
+                let delay = {
+                    let mut rng = self.rng.lock().unwrap_or_else(|p| p.into_inner());
+                    self.policy.backoff(retry - 1, &mut rng)
+                };
+                std::thread::sleep(delay);
+                self.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            match op(&self.inner) {
+                Ok(value) => return Ok(value),
+                Err(e) if e.is_transient() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        self.gave_up.fetch_add(1, Ordering::Relaxed);
+        Err(last.expect("loop ran at least once"))
+    }
+}
+
+impl<S: Store> Store for RetryStore<S> {
+    fn get(&self, key: &str) -> Result<Vec<u8>, StoreError> {
+        self.run(|s| s.get(key))
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+        self.run(|s| s.get_range(key, offset, len))
+    }
+
+    fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        self.run(|s| s.put(key, value))
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        self.run(|s| s.list())
+    }
+
+    fn size(&self, key: &str) -> Result<u64, StoreError> {
+        self.run(|s| s.size(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryStore;
+    use std::sync::atomic::AtomicU32;
+
+    /// Fails the first `fail_first` calls (transiently or permanently),
+    /// then delegates.
+    struct FlakyStore {
+        inner: MemoryStore,
+        fail_first: AtomicU32,
+        transient: bool,
+    }
+
+    impl FlakyStore {
+        fn new(fail_first: u32, transient: bool) -> Self {
+            Self {
+                inner: MemoryStore::new(),
+                fail_first: AtomicU32::new(fail_first),
+                transient,
+            }
+        }
+
+        fn maybe_fail(&self) -> Result<(), StoreError> {
+            let left = self.fail_first.load(Ordering::Relaxed);
+            if left > 0 {
+                self.fail_first.store(left - 1, Ordering::Relaxed);
+                return Err(if self.transient {
+                    StoreError::Transient("injected".into())
+                } else {
+                    StoreError::Io("injected".into())
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Store for FlakyStore {
+        fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+            self.maybe_fail()?;
+            self.inner.get_range(key, offset, len)
+        }
+        fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+            self.maybe_fail()?;
+            self.inner.put(key, value)
+        }
+        fn list(&self) -> Result<Vec<String>, StoreError> {
+            self.maybe_fail()?;
+            self.inner.list()
+        }
+        fn size(&self, key: &str) -> Result<u64, StoreError> {
+            self.maybe_fail()?;
+            self.inner.size(key)
+        }
+    }
+
+    fn fast_policy(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_delay: Duration::from_micros(50),
+            max_delay: Duration::from_micros(500),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_retried_to_success() {
+        let store = RetryStore::with_policy(FlakyStore::new(2, true), fast_policy(4));
+        store.put("k", b"v").unwrap();
+        assert_eq!(store.get("k").unwrap(), b"v");
+        assert_eq!(store.retries(), 2);
+        assert_eq!(store.gave_up(), 0);
+    }
+
+    #[test]
+    fn permanent_failures_pass_through_immediately() {
+        let store = RetryStore::with_policy(FlakyStore::new(1, false), fast_policy(4));
+        assert!(matches!(store.put("k", b"v"), Err(StoreError::Io(_))));
+        assert_eq!(store.retries(), 0, "permanent errors are never retried");
+    }
+
+    #[test]
+    fn exhausted_attempts_surface_the_typed_transient_error() {
+        let store = RetryStore::with_policy(FlakyStore::new(100, true), fast_policy(3));
+        let err = store.put("k", b"v").unwrap_err();
+        assert!(err.is_transient(), "give-up keeps the transient type");
+        assert_eq!(store.retries(), 2, "attempts = 3 means 2 retries");
+        assert_eq!(store.gave_up(), 1);
+    }
+
+    #[test]
+    fn backoff_grows_and_is_jittered_within_bounds() {
+        let policy = fast_policy(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(policy.seed);
+        let mut prev_cap = Duration::ZERO;
+        for retry in 0..6 {
+            let d = policy.backoff(retry, &mut rng);
+            let cap = policy
+                .base_delay
+                .saturating_mul(1 << retry)
+                .min(policy.max_delay);
+            assert!(d >= cap.mul_f64(0.5) && d < cap, "retry {retry}: {d:?}");
+            assert!(cap >= prev_cap);
+            prev_cap = cap;
+        }
+    }
+
+    #[test]
+    fn not_found_is_not_retried() {
+        let store = RetryStore::with_policy(MemoryStore::new(), fast_policy(5));
+        assert!(matches!(store.get("nope"), Err(StoreError::NotFound(_))));
+        assert_eq!(store.retries(), 0);
+    }
+}

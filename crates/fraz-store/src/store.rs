@@ -42,6 +42,44 @@ pub trait Store: Send + Sync {
     fn size(&self, key: &str) -> Result<u64, StoreError>;
 }
 
+/// Smart pointers to stores are stores: lets decorators like
+/// `RetryStore<Box<dyn Store>>` stack over a backend chosen at runtime.
+impl<T: Store + ?Sized> Store for Box<T> {
+    fn get(&self, key: &str) -> Result<Vec<u8>, StoreError> {
+        (**self).get(key)
+    }
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+        (**self).get_range(key, offset, len)
+    }
+    fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        (**self).put(key, value)
+    }
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        (**self).list()
+    }
+    fn size(&self, key: &str) -> Result<u64, StoreError> {
+        (**self).size(key)
+    }
+}
+
+impl<T: Store + ?Sized> Store for std::sync::Arc<T> {
+    fn get(&self, key: &str) -> Result<Vec<u8>, StoreError> {
+        (**self).get(key)
+    }
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+        (**self).get_range(key, offset, len)
+    }
+    fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        (**self).put(key, value)
+    }
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        (**self).list()
+    }
+    fn size(&self, key: &str) -> Result<u64, StoreError> {
+        (**self).size(key)
+    }
+}
+
 fn range_of(data: &[u8], key: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
     let end = offset
         .checked_add(len)
@@ -153,7 +191,7 @@ impl Store for FsStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 Err(StoreError::NotFound(key.into()))
             }
-            Err(e) => Err(StoreError::Io(format!("read {key}: {e}"))),
+            Err(e) => Err(StoreError::from_io(&format!("read {key}"), &e)),
         }
     }
 
@@ -164,11 +202,11 @@ impl Store for FsStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 return Err(StoreError::NotFound(key.into()))
             }
-            Err(e) => return Err(StoreError::Io(format!("open {key}: {e}"))),
+            Err(e) => return Err(StoreError::from_io(&format!("open {key}"), &e)),
         };
         let size = file
             .metadata()
-            .map_err(|e| StoreError::Io(format!("stat {key}: {e}")))?
+            .map_err(|e| StoreError::from_io(&format!("stat {key}"), &e))?
             .len();
         let end = offset
             .checked_add(len)
@@ -179,23 +217,47 @@ impl Store for FsStore {
             )));
         }
         file.seek(SeekFrom::Start(offset))
-            .map_err(|e| StoreError::Io(format!("seek {key}: {e}")))?;
+            .map_err(|e| StoreError::from_io(&format!("seek {key}"), &e))?;
         let mut buf = vec![0u8; len as usize];
         file.read_exact(&mut buf)
-            .map_err(|e| StoreError::Io(format!("read {key}: {e}")))?;
+            .map_err(|e| StoreError::from_io(&format!("read {key}"), &e))?;
         Ok(buf)
     }
 
     fn put(&self, key: &str, value: &[u8]) -> Result<(), StoreError> {
+        use std::io::Write;
         let path = self.path_of(key)?;
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)
-                .map_err(|e| StoreError::Io(format!("mkdir for {key}: {e}")))?;
+                .map_err(|e| StoreError::from_io(&format!("mkdir for {key}"), &e))?;
         }
-        // Write-then-rename so concurrent readers never observe a torn object.
+        // Write + fsync + rename: concurrent readers never observe a torn
+        // object, and a crash after `put` returns cannot leave a renamed
+        // name pointing at unsynced (possibly empty) data.
         let tmp = path.with_extension("tmp-fraz-store");
-        std::fs::write(&tmp, value).map_err(|e| StoreError::Io(format!("write {key}: {e}")))?;
-        std::fs::rename(&tmp, &path).map_err(|e| StoreError::Io(format!("rename {key}: {e}")))?;
+        let result = (|| {
+            let mut file = std::fs::File::create(&tmp)
+                .map_err(|e| StoreError::from_io(&format!("create {key}"), &e))?;
+            file.write_all(value)
+                .map_err(|e| StoreError::from_io(&format!("write {key}"), &e))?;
+            file.sync_all()
+                .map_err(|e| StoreError::from_io(&format!("fsync {key}"), &e))?;
+            drop(file);
+            std::fs::rename(&tmp, &path)
+                .map_err(|e| StoreError::from_io(&format!("rename {key}"), &e))
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return result;
+        }
+        // Best-effort directory fsync so the rename itself is durable; not
+        // every filesystem supports opening a directory for sync, so
+        // failure here is not an error.
+        if let Some(parent) = path.parent() {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
         Ok(())
     }
 
@@ -235,7 +297,7 @@ impl Store for FsStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 Err(StoreError::NotFound(key.into()))
             }
-            Err(e) => Err(StoreError::Io(format!("stat {key}: {e}"))),
+            Err(e) => Err(StoreError::from_io(&format!("stat {key}"), &e)),
         }
     }
 }

@@ -204,8 +204,14 @@ impl TuneCache {
         }
     }
 
-    /// Persist every entry atomically: write `<file>.tmp` in the cache
-    /// directory, then rename it over the cache file.
+    /// Persist every entry atomically: write a uniquely-named temporary
+    /// file in the cache directory, then rename it over the cache file.
+    ///
+    /// The temporary name carries the process id and a per-process
+    /// sequence number, so *concurrent* flushes — two processes sharing
+    /// one cache directory, or two instances in one process — can never
+    /// truncate each other's in-flight file; the last rename wins and the
+    /// cache file is always one flusher's complete snapshot.
     pub fn flush(&self) -> io::Result<()> {
         let entries: Vec<Entry> = {
             let slots = self.slots.lock().expect("tune cache lock");
@@ -221,17 +227,28 @@ impl TuneCache {
                 })
                 .collect()
         };
-        let tmp = self.path.with_extension("jsonl.tmp");
-        {
-            let mut file = fs::File::create(&tmp)?;
-            for entry in &entries {
-                let line = serde_json::to_string(entry)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-                writeln!(file, "{line}")?;
+        static FLUSH_SEQ: AtomicUsize = AtomicUsize::new(0);
+        let tmp = self.path.with_extension(format!(
+            "jsonl.tmp-{}-{}",
+            std::process::id(),
+            FLUSH_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let result = (|| {
+            {
+                let mut file = fs::File::create(&tmp)?;
+                for entry in &entries {
+                    let line = serde_json::to_string(entry)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                    writeln!(file, "{line}")?;
+                }
+                file.sync_all()?;
             }
-            file.sync_all()?;
+            fs::rename(&tmp, &self.path)
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
         }
-        fs::rename(&tmp, &self.path)
+        result
     }
 }
 

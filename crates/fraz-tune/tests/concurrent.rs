@@ -1,0 +1,115 @@
+//! Two *processes* flushing one cache directory must race safely.
+//!
+//! `TuneCache::flush` claims atomicity: a uniquely-named temporary file is
+//! written, fsynced, and renamed over the cache file, so concurrent
+//! flushers can never truncate each other's in-flight snapshot — the last
+//! rename wins and the file is always exactly one flusher's complete map.
+//! This suite pins that claim with real processes (the classic failure —
+//! a *shared* temp-file name — only corrupts across process boundaries,
+//! where each writer holds its own instance).
+//!
+//! The child processes are this same test binary re-executed with a
+//! filter for [`writer_child`], which does nothing unless the driver's
+//! environment variables are set.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::Command;
+
+use fraz_tune::TuneCache;
+
+const DIR_VAR: &str = "FRAZ_TUNE_CONCURRENT_DIR";
+const ID_VAR: &str = "FRAZ_TUNE_CONCURRENT_ID";
+
+/// Entries one writer records: enough that a torn snapshot would be
+/// visibly incomplete, few enough to stay fast.
+const KEYS_PER_WRITER: usize = 64;
+const FLUSHES_PER_WRITER: usize = 40;
+
+fn writer_keys(id: usize) -> BTreeSet<String> {
+    (0..KEYS_PER_WRITER)
+        .map(|j| format!("writer{id}/key{j}"))
+        .collect()
+}
+
+/// Child-process body: hammer the shared cache directory with flushes.
+/// A no-op when run as part of a normal `cargo test` sweep.
+#[test]
+fn writer_child() {
+    let Ok(dir) = std::env::var(DIR_VAR) else {
+        return;
+    };
+    let id: usize = std::env::var(ID_VAR).unwrap().parse().unwrap();
+    let cache = TuneCache::open(&dir).unwrap();
+    for key in writer_keys(id) {
+        cache.record(key, 1e-3 * (id + 1) as f64);
+    }
+    for _ in 0..FLUSHES_PER_WRITER {
+        cache.flush().unwrap();
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn concurrent_process_flushes_leave_one_complete_snapshot() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("fraz-tune-concurrent-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let exe = std::env::current_exe().unwrap();
+    let children: Vec<_> = (0..2)
+        .map(|id| {
+            Command::new(&exe)
+                .args(["writer_child", "--exact", "--test-threads=1"])
+                .env(DIR_VAR, &dir)
+                .env(ID_VAR, id.to_string())
+                .spawn()
+                .expect("spawn writer process")
+        })
+        .collect();
+    for mut child in children {
+        let status = child.wait().expect("join writer process");
+        assert!(status.success(), "writer process failed: {status}");
+    }
+
+    // Whatever interleaving happened, the surviving file must be one
+    // flusher's COMPLETE snapshot: every line parses (no torn writes, no
+    // mid-line truncation), and per writer the key set is all-or-nothing.
+    // (A writer's map always holds its own full key set, plus possibly the
+    // other writer's — loaded at open — so legal outcomes are W0, W1, or
+    // W0 ∪ W1; any *partial* set means a torn or interleaved file.)
+    let cache = TuneCache::open(&dir).unwrap();
+    assert_eq!(
+        cache.stats().corrupt_lines,
+        0,
+        "concurrent flushes corrupted the cache file"
+    );
+    let mut complete_writers = 0;
+    for id in 0..2 {
+        let present: BTreeSet<String> = writer_keys(id)
+            .into_iter()
+            .filter(|key| cache.lookup(key).is_some())
+            .collect();
+        assert!(
+            present.is_empty() || present == writer_keys(id),
+            "writer {id}'s keys are partially present ({} of {KEYS_PER_WRITER}): torn snapshot",
+            present.len()
+        );
+        if !present.is_empty() {
+            complete_writers += 1;
+        }
+    }
+    assert!(complete_writers >= 1, "no writer's snapshot survived");
+
+    // No abandoned temp files: every flush either renamed or cleaned up.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.contains("tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

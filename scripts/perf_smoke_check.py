@@ -40,6 +40,13 @@ Rows whose baseline carries a `ratio` (the scenarios group) are
 higher-is-better floors like throughput, but the quantity is a
 deterministic compression ratio of a fixed synthetic input — so a trip here
 is a real codec or generator change, never machine noise.
+
+Rows whose baseline carries a `jobs_per_s` (the service group, recorded by
+`fraz-loadgen --out`) are higher-is-better completed-job throughput floors
+for the compression service.  Latency percentiles ride along in the rows
+for the record but are deliberately not gated: p99 on a shared two-core CI
+runner is dominated by scheduler noise, while a real service regression
+(lost pool, serialized admission) craters jobs_per_s as well.
 """
 
 import argparse
@@ -99,6 +106,19 @@ def check_pair(recorded_path, baseline_path, group, bench_id, max_regression):
             sys.exit(
                 f"error: {name} spent more than "
                 f"{max_regression:.0%} above the committed evaluation baseline"
+            )
+        return
+    if "jobs_per_s" in baseline:
+        recorded = load_row(recorded_path, group, bench_id, metric="jobs_per_s")
+        floor = baseline["jobs_per_s"] * (1.0 - max_regression)
+        print(
+            f"{name}: recorded {recorded['jobs_per_s']:.2f} jobs/s, "
+            f"baseline {baseline['jobs_per_s']:.2f} jobs/s, floor {floor:.2f}"
+        )
+        if recorded["jobs_per_s"] < floor:
+            sys.exit(
+                f"error: {name} completed more than "
+                f"{max_regression:.0%} fewer jobs/s than the committed baseline"
             )
         return
     if "mib_per_s" not in baseline:

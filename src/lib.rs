@@ -31,6 +31,10 @@
 //! * [`scenarios`] — the synthetic workload suite: six seed-deterministic
 //!   field regimes (smooth → noise) with oracle descriptors of known
 //!   ground truth, usable as zero-file `generator` manifest fields.
+//! * [`serve`] — the fault-tolerant compression service: a blocking-TCP
+//!   daemon with admission control, per-job deadlines, retry/degrade
+//!   dependency stacks, graceful drain, and first-class chaos injection
+//!   (plus the protocol client and the open-loop load generator).
 //!
 //! The most commonly used registry types are re-exported at the crate root
 //! ([`Registry`], [`CodecDescriptor`], [`OptionDescriptor`], [`BoundKind`],
@@ -84,6 +88,7 @@ pub use fraz_mgard as mgard;
 pub use fraz_pool as pool;
 pub use fraz_pressio as pressio;
 pub use fraz_scenarios as scenarios;
+pub use fraz_serve as serve;
 pub use fraz_store as store;
 #[cfg(feature = "sz")]
 pub use fraz_sz as sz;
